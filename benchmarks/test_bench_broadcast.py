@@ -1,0 +1,75 @@
+"""The committee optimization: k+1-round broadcast vs Dolev-Strong's t+1.
+
+Section 8's enabling trick is Byzantine broadcast restricted to an
+implicit committee: because at most ``k`` committee members are faulty,
+signature chains only need ``k + 1`` links instead of ``t + 1``.  This
+benchmark runs both broadcasts on the same workload and measures the round
+gap, which is exactly what Algorithm 7 banks per phase.
+"""
+
+import pytest
+
+from repro.broadcast import bb_with_implicit_committee, dolev_strong
+from repro.core.api import run_protocol
+from repro.crypto import KeyStore, committee_message, make_certificate
+
+from conftest import print_table
+
+N = 12
+TAG = ("bench-bb",)
+
+
+def build_cert(keystore, pid, t):
+    return make_certificate(
+        keystore.handle_for({j}).sign(j, committee_message(pid))
+        for j in range(t + 1)
+    )
+
+
+def run_comparison():
+    rows = []
+    for t, k in ((3, 1), (3, 2), (4, 1), (4, 3)):
+        ks = KeyStore(N, seed=2)
+        committee = tuple(range(3 * k + 1))
+        certs = {pid: build_cert(ks, pid, t) for pid in committee}
+        faulty = [N - 1]
+        values = ["payload"] * N
+
+        def bb_factory(ctx):
+            return bb_with_implicit_committee(
+                ctx, TAG, 0, values[ctx.pid], k, certs.get(ctx.pid), ks
+            )
+
+        def ds_factory(ctx):
+            return dolev_strong(ctx, TAG, 0, values[ctx.pid], ks)
+
+        bb = run_protocol(N, t, faulty, bb_factory, keystore=ks)
+        ds = run_protocol(N, t, faulty, ds_factory, keystore=ks)
+        assert all(v == "payload" for v in bb.decisions.values())
+        assert all(v == "payload" for v in ds.decisions.values())
+        rows.append(
+            {
+                "t": t,
+                "k": k,
+                "bb rounds (k+1)": bb.rounds,
+                "ds rounds (t+1)": ds.rounds,
+                "bb msgs": bb.messages,
+                "ds msgs": ds.messages,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="broadcast")
+def test_committee_broadcast_vs_dolev_strong(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print_table(
+        rows,
+        ["t", "k", "bb rounds (k+1)", "ds rounds (t+1)", "bb msgs", "ds msgs"],
+        f"Committee broadcast vs Dolev-Strong (n={N}, honest sender)",
+    )
+    for row in rows:
+        assert row["bb rounds (k+1)"] == row["k"] + 1
+        assert row["ds rounds (t+1)"] == row["t"] + 1
+        if row["k"] < row["t"]:
+            assert row["bb rounds (k+1)"] < row["ds rounds (t+1)"]

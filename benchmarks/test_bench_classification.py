@@ -1,0 +1,74 @@
+"""Lemma 1: the classification vote misclassifies at most O(B/n) processes.
+
+This is the enabling lemma for every upper bound in the paper: ``B``
+scattered prediction errors collapse, after one round of majority voting,
+to at most ``B / (ceil(n/2) - f)`` *misclassified processes* (``k_A``).
+
+Workload: ``n = 31``, ``f = 7``; ``B`` swept under the adversarially
+*concentrated* generator (which maximizes ``k_A`` per bit) with the faulty
+processes also voting maliciously.  Expected shape: measured ``k_A`` is
+linear-in-``B/n`` and never exceeds Lemma 1's explicit bound.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary import PredictionLiarAdversary
+from repro.classify import classify, lemma1_bound, misclassification_report
+from repro.core.api import run_protocol
+from repro.predictions import corrupt_concentrated, count_errors
+
+from conftest import print_table
+
+N, T, F = 31, 7, 7
+FAULTY = list(range(N - F, N))
+HONEST = [pid for pid in range(N) if pid < N - F]
+
+
+def classify_once(budget, seed):
+    predictions = corrupt_concentrated(N, HONEST, budget, random.Random(seed))
+
+    def factory(ctx):
+        return classify(ctx, ("classify",), predictions[ctx.pid])
+
+    result = run_protocol(
+        N, T, FAULTY, factory, PredictionLiarAdversary(),
+        predictions=predictions,
+    )
+    report = misclassification_report(result.decisions, HONEST)
+    return count_errors(predictions, HONEST).total, report
+
+
+def run_sweep():
+    rows = []
+    for budget in (0, 16, 48, 96, 160, 240):
+        total, report = classify_once(budget, seed=budget)
+        rows.append(
+            {
+                "B": total,
+                "B/n": round(total / N, 1),
+                "k_A": report.k_a,
+                "k_H": report.k_h,
+                "k_F": report.k_f,
+                "lemma1_bound": lemma1_bound(N, F, total),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="classification")
+def test_lemma1_misclassification_bound(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        rows,
+        ["B", "B/n", "k_A", "k_H", "k_F", "lemma1_bound"],
+        f"Lemma 1: misclassified processes vs B (n={N}, f={F}, "
+        "concentrated corruption + lying voters)",
+    )
+    # Soundness: k_A <= B / (ceil(n/2) - f) always.
+    assert all(r["k_A"] <= r["lemma1_bound"] for r in rows)
+    # Shape: k_A grows with B (the concentrated generator is effective)...
+    assert rows[-1]["k_A"] > rows[0]["k_A"]
+    # ...and B = 0 classifies perfectly even against lying voters.
+    assert rows[0]["k_A"] == 0

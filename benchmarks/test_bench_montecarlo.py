@@ -1,0 +1,48 @@
+"""Monte-Carlo robustness: safety across the randomized scenario space.
+
+Not a paper table -- a release-quality complement: across randomized fault
+sets, prediction corruptions, input patterns, and all five adversary
+families, agreement and validity must hold in 100% of trials, in both
+protocol suites.
+"""
+
+import pytest
+
+from repro.experiments.montecarlo import run_trials
+
+from conftest import print_table
+
+
+def run_matrix():
+    rows = []
+    for mode, n, t, trials in (
+        ("unauthenticated", 10, 3, 40),
+        ("authenticated", 10, 3, 15),
+    ):
+        stats = run_trials(n, t, trials, seed=2025, mode=mode)
+        rows.append(
+            {
+                "mode": mode,
+                "n": n,
+                "trials": stats.trials,
+                "agreement%": round(100 * stats.agreement_rate, 1),
+                "validity_viol": stats.validity_violations,
+                "rounds_mean": round(stats.rounds_mean, 1),
+                "rounds_max": stats.rounds_max,
+                "msgs_mean": round(stats.messages_mean),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="montecarlo")
+def test_montecarlo_robustness(benchmark):
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    print_table(
+        rows,
+        ["mode", "n", "trials", "agreement%", "validity_viol",
+         "rounds_mean", "rounds_max", "msgs_mean"],
+        "Monte-Carlo robustness (random f, B, inputs, adversaries)",
+    )
+    assert all(r["agreement%"] == 100.0 for r in rows)
+    assert all(r["validity_viol"] == 0 for r in rows)

@@ -1,0 +1,73 @@
+"""Authenticated-mode scenario: a permissioned-blockchain committee.
+
+A consortium chain with a PKI wants low-latency block finality.  Validators
+run the authenticated suite (Algorithm 7 inside the guess-and-double
+wrapper): committee certificates let the system listen to a small leader
+committee, and Byzantine broadcast with implicit committee cuts the classic
+Dolev-Strong ``t + 1`` rounds down to ``k + 1``, where ``k`` tracks the
+*reputation system's* error count rather than the worst-case fault bound.
+
+We sweep the reputation system's error budget and compare against the
+unauthenticated suite on the same workload.
+
+Run:  python examples/blockchain_committee.py
+"""
+
+import random
+
+import repro
+from repro.adversary import SplitWorldAdversary
+from repro.experiments import format_table
+from repro.predictions import generate
+
+N, T, F = 13, 4, 3
+FAULTY = list(range(N - F, N))
+HONEST = [pid for pid in range(N) if pid not in FAULTY]
+
+
+def propose_blocks():
+    """Each validator proposes its candidate block hash (two camps)."""
+    return [f"block-{pid % 2}" for pid in range(N)]
+
+
+def main() -> None:
+    rows = []
+    for budget in (0, N, 3 * N, 6 * N):
+        predictions = generate(
+            "concentrated", N, HONEST, budget, random.Random(budget)
+        )
+        for mode in ("authenticated", "unauthenticated"):
+            report = repro.solve(
+                N,
+                T,
+                propose_blocks(),
+                faulty_ids=FAULTY,
+                adversary=SplitWorldAdversary("block-0", "block-1"),
+                predictions=predictions,
+                mode=mode,
+            )
+            assert report.agreed
+            rows.append(
+                {
+                    "B": budget,
+                    "mode": mode,
+                    "rounds": report.rounds,
+                    "messages": report.messages,
+                    "finalized": report.decision,
+                }
+            )
+    print(
+        format_table(
+            rows,
+            ["B", "mode", "rounds", "messages", "finalized"],
+            title=f"Block finality vs reputation error (n={N}, t={T}, f={F})",
+        )
+    )
+    print(
+        "\nThe authenticated committee path pays fewer rounds per phase for"
+        " its conditional arm (k+3 vs 5(2k+1)); both finalize one block."
+    )
+
+
+if __name__ == "__main__":
+    main()

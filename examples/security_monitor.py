@@ -1,0 +1,91 @@
+"""Scenario from the paper's introduction: a fleet protected by an AI
+network-security monitor (think Darktrace / Vectra / Zeek) whose per-node
+suspect lists feed Byzantine agreement as classification predictions.
+
+We simulate a monitor whose accuracy degrades -- from perfect detection to
+useless -- and measure how decision latency (rounds) degrades *gracefully*
+with prediction quality, the paper's headline property: fast when the
+monitor is right, never worse than prediction-free agreement when it is
+wrong.
+
+Run:  python examples/security_monitor.py
+"""
+
+import random
+
+import repro
+from repro.adversary import SplitWorldAdversary
+from repro.experiments import format_table
+from repro.predictions import count_errors, from_suspect_sets
+
+N, T, F = 13, 4, 4
+FAULTY = list(range(N - F, N))
+HONEST = [pid for pid in range(N) if pid not in FAULTY]
+
+
+def monitor_suspects(detection_rate: float, false_alarm_rate: float, rng):
+    """Produce per-node suspect lists like a real IDS would: each node's
+    monitor endpoint independently flags each peer."""
+    suspects = []
+    for _ in range(N):
+        flagged = []
+        for peer in range(N):
+            if peer in FAULTY:
+                if rng.random() < detection_rate:
+                    flagged.append(peer)
+            else:
+                if rng.random() < false_alarm_rate:
+                    flagged.append(peer)
+        suspects.append(flagged)
+    return suspects
+
+
+def main() -> None:
+    rng = random.Random(2025)
+    inputs = [pid % 2 for pid in range(N)]
+    rows = []
+    for detection, false_alarm in [
+        (1.00, 0.00),  # perfect monitor
+        (0.90, 0.02),  # strong monitor
+        (0.60, 0.10),  # mediocre monitor
+        (0.30, 0.25),  # weak monitor
+        (0.00, 0.50),  # adversarially wrong monitor
+    ]:
+        predictions = from_suspect_sets(
+            N, monitor_suspects(detection, false_alarm, rng)
+        )
+        errors = count_errors(predictions, HONEST)
+        report = repro.solve(
+            N,
+            T,
+            inputs,
+            faulty_ids=FAULTY,
+            adversary=SplitWorldAdversary(0, 1),
+            predictions=predictions,
+        )
+        assert report.agreed, "safety must hold at every monitor quality"
+        rows.append(
+            {
+                "detection%": int(detection * 100),
+                "false-alarm%": int(false_alarm * 100),
+                "B": errors.total,
+                "rounds": report.rounds,
+                "messages": report.messages,
+                "decision": report.decision,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            ["detection%", "false-alarm%", "B", "rounds", "messages", "decision"],
+            title=f"Decision latency vs monitor quality (n={N}, t={T}, f={F})",
+        )
+    )
+    print(
+        "\nAgreement held in every row; rounds degrade gracefully with B"
+        " and are capped by the prediction-free O(f) path."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Byzantine Agreement with Predictions (PODC 2025) -- full reproduction.
+
+Public API highlights:
+
+* :func:`repro.solve` -- run Byzantine agreement with predictions end to end
+  on the simulated synchronous network and get exact complexity metrics.
+* :mod:`repro.predictions` -- prediction generators with exact error budgets.
+* :mod:`repro.adversary` -- pluggable Byzantine strategies.
+* :mod:`repro.lowerbounds` -- the paper's lower-bound constructions.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from .core.api import SolveReport, run_protocol, solve, solve_without_predictions
+from .core.wrapper import AUTHENTICATED, UNAUTHENTICATED, ba_with_predictions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AUTHENTICATED",
+    "SolveReport",
+    "UNAUTHENTICATED",
+    "ba_with_predictions",
+    "run_protocol",
+    "solve",
+    "solve_without_predictions",
+    "__version__",
+]

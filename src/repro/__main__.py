@@ -1,0 +1,8 @@
+"""``python -m repro`` entry point (see :mod:`repro.experiments.cli`)."""
+
+import sys
+
+from .experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Byzantine adversary strategies and ghost-execution utilities."""
+
+from ..net.adversary import Adversary, AdversaryView, AdversaryWorld
+from .ghost import GhostRunner
+from .stalling import StallingAdversary
+from .strategies import (
+    CrashAdversary,
+    EchoAdversary,
+    GhostHonestAdversary,
+    PredictionLiarAdversary,
+    RandomNoiseAdversary,
+    ScriptedAdversary,
+    SilentAdversary,
+    SplitWorldAdversary,
+    inverted_prediction_mutator,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversaryView",
+    "AdversaryWorld",
+    "CrashAdversary",
+    "EchoAdversary",
+    "GhostHonestAdversary",
+    "GhostRunner",
+    "PredictionLiarAdversary",
+    "RandomNoiseAdversary",
+    "ScriptedAdversary",
+    "SilentAdversary",
+    "SplitWorldAdversary",
+    "StallingAdversary",
+    "inverted_prediction_mutator",
+]

@@ -1,0 +1,101 @@
+"""Ghost execution of honest protocol code under adversary control.
+
+Several strong adversaries (crash-like, split-world equivocation, targeted
+lying) are "honest-but-X": they run the real protocol and deviate
+selectively.  :class:`GhostRunner` hosts protocol coroutines for the faulty
+processes, feeding them the messages the adversary chooses and collecting
+their outgoing traffic for the adversary to filter, mutate, or drop.
+
+Faulty-to-faulty traffic never touches the simulated network (the engine
+only routes what the adversary explicitly emits), so the runner routes it
+internally with the same one-round latency as the real network.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+from ..net.adversary import AdversaryWorld
+from ..net.context import ProcessContext
+from ..net.message import Envelope
+
+Factory = Callable[[ProcessContext], Generator]
+
+
+class GhostRunner:
+    """Drives protocol coroutines for a set of faulty process ids."""
+
+    def __init__(
+        self,
+        world: AdversaryWorld,
+        pids: Iterable[int],
+        factory: Optional[Factory] = None,
+        inputs: Optional[Dict[int, Any]] = None,
+    ) -> None:
+        """``factory`` defaults to the scenario's ``protocol_factory``.
+
+        ``inputs`` overrides ghost input values per pid; it requires the
+        scenario to expose ``protocol_builder`` -- a callable
+        ``(ctx, value) -> generator`` -- which
+        :func:`repro.core.api.solve` always provides.
+        """
+        self.world = world
+        self.pids = sorted(pids)
+        factory = factory or world.scenario.get("protocol_factory")
+        builder = world.scenario.get("protocol_builder")
+        if factory is None and builder is None:
+            raise ValueError("GhostRunner needs a protocol factory")
+        self._generators: Dict[int, Generator] = {}
+        self._finished: Dict[int, bool] = {}
+        self._internal_queue: List[Envelope] = []
+        for pid in self.pids:
+            ctx = ProcessContext(
+                pid=pid, n=world.n, t=world.t, signer=world.signer
+            )
+            if inputs is not None and pid in inputs:
+                if builder is None:
+                    raise ValueError(
+                        "input overrides need a scenario protocol_builder"
+                    )
+                generator = builder(ctx, inputs[pid])
+            else:
+                generator = factory(ctx)
+            self._generators[pid] = generator
+            self._finished[pid] = False
+
+    def start(self) -> List[Envelope]:
+        """Round-1 outgoing of every ghost."""
+        outgoing: List[Envelope] = []
+        for pid in self.pids:
+            outgoing.extend(self._advance(pid, None))
+        return self._split_internal(outgoing)
+
+    def step(self, external_inbox: List[Envelope]) -> List[Envelope]:
+        """Feed last round's inbox (external + internal) and collect sends."""
+        inbox = external_inbox + self._internal_queue
+        self._internal_queue = []
+        outgoing: List[Envelope] = []
+        for pid in self.pids:
+            if self._finished[pid]:
+                continue
+            delivered = [e for e in inbox if e.recipient == pid]
+            outgoing.extend(self._advance(pid, delivered))
+        return self._split_internal(outgoing)
+
+    def _advance(self, pid: int, inbox: Optional[List[Envelope]]) -> List[Envelope]:
+        try:
+            return list(self._generators[pid].send(inbox) or [])
+        except StopIteration:
+            self._finished[pid] = True
+            return []
+
+    def _split_internal(self, outgoing: List[Envelope]) -> List[Envelope]:
+        """Queue ghost-to-ghost messages internally; return the rest."""
+        external: List[Envelope] = []
+        faulty = self.world.faulty_ids
+        for env in outgoing:
+            if env.recipient in faulty:
+                self._internal_queue.append(env)
+            else:
+                external.append(env)
+        return external

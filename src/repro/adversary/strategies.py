@@ -1,0 +1,259 @@
+"""Byzantine adversary strategies.
+
+Each strategy personifies all faulty processes (see
+:mod:`repro.net.adversary`).  The library ships the attack families the
+paper's analyses quantify over:
+
+* :class:`SilentAdversary` -- crash at time zero (weakest; also the default).
+* :class:`CrashAdversary` -- behave honestly, then crash at chosen rounds,
+  optionally mid-broadcast (classic crash-failure semantics).
+* :class:`GhostHonestAdversary` -- run the honest protocol but pass every
+  outgoing envelope through mutators (drop / replace / redirect), the
+  scaffold for targeted deviations.
+* :class:`SplitWorldAdversary` -- the classic equivocation attack: behave
+  like an honest process with input ``v0`` toward one half of the honest
+  processes and input ``v1`` toward the other half.
+* :class:`PredictionLiarAdversary` -- honest-looking except the
+  classification vote, where it broadcasts adversarial prediction vectors
+  (inverted truth by default) to maximize classification divergence.
+* :class:`RandomNoiseAdversary` -- seeded random garbage, stress-testing
+  untrusted-input handling in every protocol parser.
+* :class:`ScriptedAdversary` -- run an arbitrary per-round callable; used
+  by the lower-bound constructions and targeted protocol tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..net.adversary import Adversary, AdversaryView, AdversaryWorld
+from ..net.message import Envelope
+from .ghost import GhostRunner
+
+
+class SilentAdversary(Adversary):
+    """Faulty processes send nothing at all."""
+
+
+class _GhostBackedAdversary(Adversary):
+    """Shared plumbing for strategies that run ghost protocol instances."""
+
+    def bind(self, world: AdversaryWorld) -> None:
+        super().bind(world)
+        self._started = False
+        self._last_inbox: List[Envelope] = []
+
+    def _make_runner(self) -> GhostRunner:
+        return GhostRunner(self.world, self.world.faulty_ids)
+
+    def _ghost_round(self, view: AdversaryView) -> List[Envelope]:
+        """Advance ghosts one round; returns their raw outgoing envelopes."""
+        if not self._started:
+            self._runner = self._make_runner()
+            self._started = True
+            return self._runner.start()
+        return self._runner.step(self._last_inbox)
+
+    def step(self, view: AdversaryView) -> List[Envelope]:
+        outgoing = self._ghost_round(view)
+        self._last_inbox = list(view.inbox_to_faulty)
+        return self.filter_outgoing(outgoing, view)
+
+    def filter_outgoing(
+        self, outgoing: List[Envelope], view: AdversaryView
+    ) -> List[Envelope]:
+        return outgoing
+
+
+class GhostHonestAdversary(_GhostBackedAdversary):
+    """Faulty processes behave exactly like honest ones, except that each
+    outgoing envelope is passed through ``mutators`` in order.
+
+    A mutator is ``(envelope, world, round_no) -> Envelope | None``; ``None``
+    drops the envelope.
+    """
+
+    def __init__(
+        self,
+        mutators: Sequence[Callable[[Envelope, AdversaryWorld, int], Optional[Envelope]]] = (),
+    ) -> None:
+        self.mutators = list(mutators)
+
+    def filter_outgoing(
+        self, outgoing: List[Envelope], view: AdversaryView
+    ) -> List[Envelope]:
+        result = []
+        for env in outgoing:
+            mutated: Optional[Envelope] = env
+            for mutator in self.mutators:
+                if mutated is None:
+                    break
+                mutated = mutator(mutated, self.world, view.round_no)
+            if mutated is not None:
+                result.append(mutated)
+        return result
+
+
+class CrashAdversary(_GhostBackedAdversary):
+    """Behave honestly until a per-process crash round, then go silent.
+
+    ``crash_rounds`` maps pid to the round in which it crashes; during the
+    crash round only recipients with id below ``mid_crash_cutoff`` still
+    receive messages (modelling a crash mid-broadcast).
+    """
+
+    def __init__(
+        self,
+        crash_rounds: Dict[int, int],
+        mid_crash_cutoff: int = 0,
+    ) -> None:
+        self.crash_rounds = dict(crash_rounds)
+        self.mid_crash_cutoff = mid_crash_cutoff
+
+    def filter_outgoing(
+        self, outgoing: List[Envelope], view: AdversaryView
+    ) -> List[Envelope]:
+        kept = []
+        for env in outgoing:
+            crash_at = self.crash_rounds.get(env.sender)
+            if crash_at is None or view.round_no < crash_at:
+                kept.append(env)
+            elif view.round_no == crash_at and env.recipient < self.mid_crash_cutoff:
+                kept.append(env)
+        return kept
+
+
+class SplitWorldAdversary(Adversary):
+    """Equivocate: look honest-with-input-``v0`` to half the honest
+    processes and honest-with-input-``v1`` to the rest.
+
+    The two ghost worlds receive identical inboxes (the real messages sent
+    to the faulty processes); only the pretended input differs.  This is
+    the strongest generic attack on agreement among the classic families.
+    """
+
+    def __init__(self, value_a: Any, value_b: Any) -> None:
+        self.value_a = value_a
+        self.value_b = value_b
+
+    def bind(self, world: AdversaryWorld) -> None:
+        super().bind(world)
+        honest = world.honest_ids
+        half = len(honest) // 2
+        self.group_a = frozenset(honest[:half])
+        self._started = False
+        self._last_inbox: List[Envelope] = []
+
+    def _start_runners(self) -> None:
+        faulty = self.world.faulty_ids
+        inputs_a = {pid: self.value_a for pid in faulty}
+        inputs_b = {pid: self.value_b for pid in faulty}
+        self.runner_a = GhostRunner(self.world, faulty, inputs=inputs_a)
+        self.runner_b = GhostRunner(self.world, faulty, inputs=inputs_b)
+
+    def step(self, view: AdversaryView) -> List[Envelope]:
+        if not self._started:
+            self._start_runners()
+            self._started = True
+            out_a = self.runner_a.start()
+            out_b = self.runner_b.start()
+        else:
+            out_a = self.runner_a.step(self._last_inbox)
+            out_b = self.runner_b.step(list(self._last_inbox))
+        self._last_inbox = list(view.inbox_to_faulty)
+        kept = [env for env in out_a if env.recipient in self.group_a]
+        kept.extend(
+            env for env in out_b if env.recipient not in self.group_a
+        )
+        return kept
+
+
+def inverted_prediction_mutator(
+    classify_tag: tuple = ("classify",),
+) -> Callable[[Envelope, AdversaryWorld, int], Optional[Envelope]]:
+    """Mutator replacing classification votes with the inverted truth."""
+
+    def mutate(
+        env: Envelope, world: AdversaryWorld, round_no: int
+    ) -> Optional[Envelope]:
+        if env.tag() != classify_tag:
+            return env
+        lie = tuple(
+            1 if j in world.faulty_ids else 0 for j in range(world.n)
+        )
+        return Envelope(env.sender, env.recipient, (classify_tag, lie))
+
+    return mutate
+
+
+class PredictionLiarAdversary(GhostHonestAdversary):
+    """Honest-looking except for adversarial classification votes."""
+
+    def __init__(self, classify_tag: tuple = ("classify",)) -> None:
+        super().__init__([inverted_prediction_mutator(classify_tag)])
+
+
+class RandomNoiseAdversary(Adversary):
+    """Seeded random garbage to random recipients, every round."""
+
+    def __init__(self, seed: int = 0, messages_per_faulty: int = 4) -> None:
+        self.rng = random.Random(seed)
+        self.messages_per_faulty = messages_per_faulty
+
+    def _junk(self) -> Any:
+        choice = self.rng.randrange(6)
+        if choice == 0:
+            return self.rng.randrange(1_000_000)
+        if choice == 1:
+            return ("classify",), tuple(
+                self.rng.randrange(2) for _ in range(self.world.n)
+            )
+        if choice == 2:
+            return (("ba", 1, "gc1", "r1"), self.rng.randrange(2))
+        if choice == 3:
+            return None
+        if choice == 4:
+            return ("x" * self.rng.randrange(1, 8), [1, 2, {3: 4}])
+        return ((), ())
+
+    def step(self, view: AdversaryView) -> List[Envelope]:
+        outgoing = []
+        for pid in sorted(self.world.faulty_ids):
+            for _ in range(self.messages_per_faulty):
+                recipient = self.rng.randrange(self.world.n)
+                outgoing.append(Envelope(pid, recipient, self._junk()))
+        return outgoing
+
+
+class ScriptedAdversary(Adversary):
+    """Delegate each round to ``script(view, world) -> [Envelope]``."""
+
+    def __init__(
+        self,
+        script: Callable[[AdversaryView, AdversaryWorld], List[Envelope]],
+    ) -> None:
+        self.script = script
+
+    def step(self, view: AdversaryView) -> List[Envelope]:
+        return self.script(view, self.world)
+
+
+class EchoAdversary(Adversary):
+    """Replay the last honest message seen, to everyone, from every faulty
+    process -- a cheap replay attack exercising tag/signature freshness."""
+
+    def bind(self, world: AdversaryWorld) -> None:
+        super().bind(world)
+        self._last_payload: Any = None
+
+    def step(self, view: AdversaryView) -> List[Envelope]:
+        if view.honest_outgoing:
+            self._last_payload = view.honest_outgoing[-1].payload
+        if self._last_payload is None:
+            return []
+        return [
+            Envelope(pid, j, self._last_payload)
+            for pid in sorted(self.world.faulty_ids)
+            for j in range(self.world.n)
+        ]

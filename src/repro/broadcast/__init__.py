@@ -1,0 +1,13 @@
+"""Byzantine broadcast: Algorithm 6 (implicit committee) and Dolev-Strong."""
+
+from .dolev_strong import DEFAULT as DS_DEFAULT
+from .dolev_strong import dolev_strong
+from .implicit_committee import DEFAULT as BB_DEFAULT
+from .implicit_committee import bb_with_implicit_committee
+
+__all__ = [
+    "BB_DEFAULT",
+    "DS_DEFAULT",
+    "bb_with_implicit_committee",
+    "dolev_strong",
+]

@@ -1,0 +1,26 @@
+"""Classification from predictions: Algorithm 2, pi(c) ordering, analysis."""
+
+from .analysis import (
+    MisclassificationReport,
+    core_set,
+    lemma1_bound,
+    misclassification_report,
+    orderings,
+    position_spread,
+)
+from .ordering import leader_block, position_in_order, priority_order
+from .protocol import classify, vote_threshold
+
+__all__ = [
+    "MisclassificationReport",
+    "classify",
+    "core_set",
+    "leader_block",
+    "lemma1_bound",
+    "misclassification_report",
+    "orderings",
+    "position_in_order",
+    "position_spread",
+    "priority_order",
+    "vote_threshold",
+]

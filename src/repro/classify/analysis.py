@@ -1,0 +1,127 @@
+"""Ground-truth analysis of classification outcomes (Lemmas 1-6).
+
+These functions are *not* part of any protocol -- processes cannot compute
+them (they require knowing the honest set).  They power tests, benchmarks,
+and experiment reporting: counting misclassified processes (``k_A``,
+``k_H``, ``k_F``), verifying Lemma 1's ``O(B/n)`` bound, and computing the
+core sets whose existence Lemma 5 proves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .ordering import priority_order
+
+
+@dataclass(frozen=True)
+class MisclassificationReport:
+    """Who was misclassified by whom, plus the paper's counters."""
+
+    misclassified_honest: frozenset  # union over honest i of {honest j : c_i[j]=0}
+    misclassified_faulty: frozenset  # union over honest i of {faulty j : c_i[j]=1}
+    by_process: Dict[int, frozenset]  # M_i per honest classifier i
+
+    @property
+    def k_h(self) -> int:
+        return len(self.misclassified_honest)
+
+    @property
+    def k_f(self) -> int:
+        return len(self.misclassified_faulty)
+
+    @property
+    def k_a(self) -> int:
+        """``k_A = |union M_i|`` -- total misclassified processes."""
+        return self.k_h + self.k_f
+
+
+def misclassification_report(
+    classifications: Dict[int, Sequence[int]], honest_ids: Iterable[int]
+) -> MisclassificationReport:
+    """Compare honest classifications against ground truth."""
+    honest: Set[int] = set(honest_ids)
+    wrong_honest: Set[int] = set()
+    wrong_faulty: Set[int] = set()
+    by_process: Dict[int, frozenset] = {}
+    for i, c_i in classifications.items():
+        if i not in honest:
+            continue
+        mistakes = set()
+        for j, bit in enumerate(c_i):
+            if j in honest and bit == 0:
+                mistakes.add(j)
+                wrong_honest.add(j)
+            elif j not in honest and bit == 1:
+                mistakes.add(j)
+                wrong_faulty.add(j)
+        by_process[i] = frozenset(mistakes)
+    return MisclassificationReport(
+        misclassified_honest=frozenset(wrong_honest),
+        misclassified_faulty=frozenset(wrong_faulty),
+        by_process=by_process,
+    )
+
+
+def lemma1_bound(n: int, f: int, budget: int) -> int:
+    """Lemma 1's explicit bound: ``B / (ceil(n/2) - f)`` misclassified processes.
+
+    Valid whenever ``f < n/2`` (the lemma assumes ``f < eps*n`` with
+    ``eps < 1/2``).
+    """
+    denominator = (n + 1) // 2 - f
+    if denominator <= 0:
+        raise ValueError("Lemma 1 requires f < n/2")
+    return budget // denominator
+
+
+def core_set(
+    classifications: Dict[int, Sequence[int]],
+    honest_ids: Iterable[int],
+    left: int,
+    right: int,
+) -> Set[int]:
+    """Honest ids appearing in positions ``left..right`` (0-indexed, inclusive)
+    of *every* honest process's ``pi(c_i)`` -- the Lemma 5 core set ``G``.
+
+    Lemma 5 guarantees ``|G| >= (right - left + 1) - k_A`` whenever
+    ``left + k_A - 1 < right <= n - t - k_A`` (1-indexed in the paper).
+    """
+    honest: Set[int] = set(honest_ids)
+    core = None
+    for i, c_i in classifications.items():
+        if i not in honest:
+            continue
+        window = set(priority_order(c_i)[left : right + 1])
+        core = window if core is None else core & window
+    if core is None:
+        return set()
+    return {j for j in core if j in honest}
+
+
+def orderings(
+    classifications: Dict[int, Sequence[int]], honest_ids: Iterable[int]
+) -> Dict[int, Tuple[int, ...]]:
+    """``pi(c_i)`` for every honest ``i``."""
+    honest = set(honest_ids)
+    return {
+        i: priority_order(c_i)
+        for i, c_i in classifications.items()
+        if i in honest
+    }
+
+
+def position_spread(
+    classifications: Dict[int, Sequence[int]],
+    honest_ids: Iterable[int],
+    pid: int,
+) -> int:
+    """Max minus min position of ``pid`` across honest orderings.
+
+    Lemma 2 bounds this by ``k_A`` for properly classified processes;
+    Lemma 4 bounds it by ``k_A - 1`` for commonly-misclassified faulty ones.
+    """
+    orders = orderings(classifications, honest_ids)
+    positions = [order.index(pid) for order in orders.values()]
+    return max(positions) - min(positions) if positions else 0

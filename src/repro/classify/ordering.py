@@ -1,0 +1,46 @@
+"""The priority ordering pi(c) over process identifiers (Section 6).
+
+For a classification vector ``c``, ``pi(c)`` lists the identifiers of the
+processes classified honest in increasing order, followed by those
+classified faulty in increasing order.  The conditional agreement protocols
+use this ordering to prioritize leader candidates: processes everyone
+believes honest come first, and Lemmas 2-6 bound how far honest processes'
+orderings can diverge when few processes are misclassified.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def priority_order(classification: Sequence[int]) -> Tuple[int, ...]:
+    """Return ``pi(c)`` as a tuple of process ids (0-indexed)."""
+    honest_first = [j for j, bit in enumerate(classification) if bit == 1]
+    faulty_last = [j for j, bit in enumerate(classification) if bit == 0]
+    return tuple(honest_first + faulty_last)
+
+
+def position_in_order(classification: Sequence[int], pid: int) -> int:
+    """0-indexed position of ``pid`` in ``pi(c)``.
+
+    Matches the paper's closed forms (shifted to 0-indexing): a process
+    classified honest sits at ``(number of honest-classified ids <= pid) - 1``;
+    one classified faulty sits at ``pid + (number of honest-classified ids
+    > pid)``.
+    """
+    if classification[pid] == 1:
+        return sum(classification[: pid + 1]) - 1
+    return pid + sum(classification[pid + 1 :])
+
+
+def leader_block(
+    order: Sequence[int], phase: int, block_size: int
+) -> List[int]:
+    """The ``phase``-th consecutive block of ``block_size`` ids (1-indexed phase).
+
+    Algorithm 5 partitions the first ``(2k+1)(3k+1)`` positions of
+    ``pi(c_i)`` into ``2k+1`` blocks of size ``3k+1``; phase ``phi`` uses
+    block ``phi``.
+    """
+    start = block_size * (phase - 1)
+    return list(order[start : start + block_size])

@@ -1,0 +1,52 @@
+"""The classification vote (Algorithm 2 of the paper).
+
+Each honest process broadcasts its prediction string; process ``p_i`` then
+classifies ``p_j`` as honest iff at least ``ceil((n+1)/2)`` of the received
+vectors (its own included) predict ``p_j`` honest.  Faulty processes may
+send different vectors to different processes, malformed vectors, or
+nothing; anything that is not an ``n``-bit vector is ignored.
+
+One round, ``n`` messages per honest process (``n^2`` total), ``n``-bit
+payloads -- the paper notes this step alone is Theta(n^3) communication
+bits.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Sequence, Tuple
+
+from ..net.context import ProcessContext
+from ..net.message import Envelope, by_tag
+
+
+def vote_threshold(n: int) -> int:
+    """``ceil((n+1)/2)`` -- the strict-majority vote bound of Algorithm 2."""
+    return (n + 2) // 2
+
+
+def _well_formed(vector: object, n: int) -> bool:
+    return (
+        isinstance(vector, tuple)
+        and len(vector) == n
+        and all(bit in (0, 1) for bit in vector)
+    )
+
+
+def classify(
+    ctx: ProcessContext, tag: tuple, prediction: Sequence[int]
+) -> Generator[List[Envelope], List[Envelope], Tuple[int, ...]]:
+    """Run Algorithm 2; return this process's classification vector ``c_i``."""
+    n = ctx.n
+    my_vector = tuple(prediction)
+    inbox = yield ctx.broadcast(tag, my_vector)
+    received = [
+        vector
+        for _, vector in by_tag(inbox, tag)
+        if _well_formed(vector, n)
+    ]
+    threshold = vote_threshold(n)
+    classification = tuple(
+        1 if sum(vector[j] for vector in received) >= threshold else 0
+        for j in range(n)
+    )
+    return classification

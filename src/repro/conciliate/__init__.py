@@ -1,0 +1,5 @@
+"""Conciliation with a core set (Algorithm 4)."""
+
+from .protocol import conciliate
+
+__all__ = ["conciliate"]

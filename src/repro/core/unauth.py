@@ -1,0 +1,66 @@
+"""Unauthenticated Byzantine agreement with classification (Algorithm 5).
+
+The conditional protocol at the heart of Theorem 5: given a classification
+vector ``c_i`` (from Algorithm 2) and an upper bound ``k`` on the number of
+misclassified processes, it decides in ``5(2k + 1)`` rounds with ``O(n k^2)``
+messages -- *without* requiring ``t < n/3``.
+
+Structure: the first ``(2k+1)(3k+1)`` positions of the priority ordering
+``pi(c_i)`` are split into ``2k + 1`` blocks of ``3k + 1`` leader ids; phase
+``phi`` listens to block ``phi`` and runs graded consensus (Algorithm 3),
+conciliation (Algorithm 4), then graded consensus again.  Misclassified
+faulty leaders can pollute at most two consecutive phases each (Lemma 15),
+so with at most ``k`` misclassified processes some phase has all-honest
+leader sets everywhere and conciliation forces agreement (Lemmas 18-19).
+
+Guarantees under ``(2k+1)(3k+1) <= n - t - k`` and a correct ``k``:
+Agreement and Strong Unanimity.  Unconditionally: termination within
+``5(2k + 1)`` rounds and at most ``5n`` messages sent per honest process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Sequence
+
+from ..classify.ordering import leader_block, priority_order
+from ..conciliate.protocol import conciliate
+from ..gradecast.core_set import graded_consensus_with_core_set
+from ..net.context import ProcessContext
+from ..net.message import Envelope
+
+
+def ba_with_classification_unauth(
+    ctx: ProcessContext,
+    tag: tuple,
+    value: Any,
+    classification: Sequence[int],
+    k: int,
+) -> Generator[List[Envelope], List[Envelope], Any]:
+    """Run Algorithm 5; return this process's value (its decision when the
+    preconditions hold)."""
+    order = priority_order(classification)
+    block_size = 3 * k + 1
+    decided = False
+    decision: Any = None
+
+    for phase in range(1, 2 * k + 2):
+        listen = leader_block(order, phase, block_size)
+
+        value, grade = yield from graded_consensus_with_core_set(
+            ctx, tag + (phase, "gc1"), value, k, listen
+        )
+        conciliated = yield from conciliate(
+            ctx, tag + (phase, "conc"), value, k, listen
+        )
+        if grade == 0:
+            value = conciliated
+        value, grade = yield from graded_consensus_with_core_set(
+            ctx, tag + (phase, "gc2"), value, k, listen
+        )
+        if decided:
+            return decision
+        if grade == 1:
+            decision = value
+            decided = True
+
+    return decision if decided else value

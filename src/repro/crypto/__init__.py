@@ -1,0 +1,32 @@
+"""Simulated cryptographic substrate: signatures, certificates, chains."""
+
+from .certificates import (
+    certificate_signers,
+    committee_message,
+    is_committee_certificate,
+    make_certificate,
+)
+from .chains import ChainInfo, extend_chain, inspect_chain, start_chain
+from .keys import (
+    ForgeryError,
+    KeyStore,
+    Signature,
+    SignerHandle,
+    canonical_encode,
+)
+
+__all__ = [
+    "ChainInfo",
+    "ForgeryError",
+    "KeyStore",
+    "Signature",
+    "SignerHandle",
+    "canonical_encode",
+    "certificate_signers",
+    "committee_message",
+    "extend_chain",
+    "inspect_chain",
+    "is_committee_certificate",
+    "make_certificate",
+    "start_chain",
+]

@@ -1,0 +1,57 @@
+"""Committee certificates (Definition 1 of the paper).
+
+A *committee certificate* for process ``p_i`` is a set of signatures for the
+message ``<committee, p_i>`` by ``t + 1`` different processes.  Because at
+most ``t`` processes are faulty, every committee certificate contains at
+least one honest signature -- i.e., at least one honest process voted
+``p_i`` onto the leader committee.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Optional, Tuple
+
+from .keys import KeyStore, Signature
+
+
+def committee_message(pid: int) -> Tuple[str, int]:
+    """The canonical message content a committee vote signs."""
+    return ("committee", pid)
+
+
+def make_certificate(signatures: Iterable[Signature]) -> FrozenSet[Signature]:
+    """Bundle signatures into the certificate representation (a frozenset)."""
+    return frozenset(signatures)
+
+
+def is_committee_certificate(
+    cert: Any, pid: int, t: int, keystore: KeyStore
+) -> bool:
+    """Check Definition 1: >= t+1 distinct valid signers of <committee, pid>.
+
+    Malformed input (wrong type, junk entries) simply fails the check;
+    Byzantine processes may send anything.
+    """
+    if not isinstance(cert, (frozenset, set, tuple, list)):
+        return False
+    message = committee_message(pid)
+    signers = set()
+    for sig in cert:
+        if isinstance(sig, Signature) and keystore.verify(sig, message):
+            signers.add(sig.signer)
+    return len(signers) >= t + 1
+
+
+def certificate_signers(
+    cert: Any, pid: int, keystore: KeyStore
+) -> Optional[FrozenSet[int]]:
+    """The set of valid signer ids inside ``cert``, or ``None`` if malformed."""
+    if not isinstance(cert, (frozenset, set, tuple, list)):
+        return None
+    message = committee_message(pid)
+    signers = {
+        sig.signer
+        for sig in cert
+        if isinstance(sig, Signature) and keystore.verify(sig, message)
+    }
+    return frozenset(signers)

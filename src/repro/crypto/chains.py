@@ -1,0 +1,89 @@
+"""Message chains (Definition 2 of the paper).
+
+A message chain of length 1 for value ``x`` started by ``p_i`` is
+``<x, cc_i, sign_i(<x, cc_i>)>`` where ``cc_i`` is a committee certificate
+for ``p_i``.  A chain of length ``b+1`` wraps a length-``b`` chain ``m`` as
+``<m, cc_j, sign_j(<m, cc_j>)>``.  A chain of length ``b`` is *valid* if it
+is signed by ``b`` different processes (each link carrying a committee
+certificate for its signer).
+
+If at most ``k`` committee members are faulty, a valid chain of length
+``k + 1`` necessarily contains an honest committee member's signature --
+the property Algorithm 6 relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from .certificates import is_committee_certificate
+from .keys import KeyStore, Signature, SignerHandle
+
+_START = "chain-start"
+_EXT = "chain-ext"
+
+
+@dataclass(frozen=True)
+class ChainInfo:
+    """Decoded facts about a structurally valid chain."""
+
+    value: Any
+    starter: int
+    signers: Tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.signers)
+
+    def is_valid_length(self, b: int) -> bool:
+        """Definition 2 validity: length ``b`` with ``b`` distinct signers."""
+        return self.length == b and len(set(self.signers)) == b
+
+
+def start_chain(value: Any, cert: Any, signer: SignerHandle, pid: int) -> Tuple:
+    """Start a chain of length 1 for ``value`` as process ``pid``."""
+    sig = signer.sign(pid, (value, cert))
+    return (_START, value, cert, sig)
+
+
+def extend_chain(chain: Tuple, cert: Any, signer: SignerHandle, pid: int) -> Tuple:
+    """Extend a chain by one link as process ``pid``."""
+    sig = signer.sign(pid, (chain, cert))
+    return (_EXT, chain, cert, sig)
+
+
+def inspect_chain(chain: Any, t: int, keystore: KeyStore) -> Optional[ChainInfo]:
+    """Decode and fully verify a chain; ``None`` if anything is wrong.
+
+    Checks, per link: tuple structure, a valid committee certificate for the
+    link's signer, and a valid signature over the signed content (value or
+    sub-chain, paired with the certificate).  Untrusted input may be any
+    object; all failure modes return ``None``.
+    """
+    links = []
+    node = chain
+    # Unwind extension links down to the start link (bounded by structure).
+    while True:
+        if not isinstance(node, tuple) or len(node) != 4:
+            return None
+        kind, content, cert, sig = node
+        if not isinstance(sig, Signature):
+            return None
+        links.append((kind, content, cert, sig))
+        if kind == _START:
+            break
+        if kind != _EXT:
+            return None
+        node = content
+    value = links[-1][1]
+    starter = links[-1][3].signer
+    signers = []
+    for kind, content, cert, sig in links:
+        if not is_committee_certificate(cert, sig.signer, t, keystore):
+            return None
+        if not keystore.verify(sig, (content, cert)):
+            return None
+        signers.append(sig.signer)
+    # links were gathered outermost-first; report starter-first order.
+    return ChainInfo(value=value, starter=starter, signers=tuple(reversed(signers)))

@@ -1,0 +1,120 @@
+"""Simulated unforgeable signatures.
+
+The paper (Section 8.1) assumes a public-key infrastructure where no
+computationally-bounded faulty process can forge an honest process's
+signature.  In a closed simulation we get unforgeability *by construction*:
+signatures are keyed digests minted by a :class:`KeyStore` whose per-process
+secrets never leave the store, and participants (honest or adversarial) only
+ever hold a :class:`SignerHandle` restricted to the identities they control.
+Verification is public.  An adversary can replay any signature it has seen
+-- exactly as in the real model -- but cannot mint one for an honest id.
+
+Messages are hashed through a deterministic canonical encoding so that
+structurally equal payloads sign and verify identically across processes
+and runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterable
+
+
+class ForgeryError(Exception):
+    """Raised when a handle attempts to sign for an identity it lacks."""
+
+
+def canonical_encode(obj: Any) -> bytes:
+    """Deterministically encode a message structure for hashing.
+
+    Supports the value types protocols in this library exchange: ``None``,
+    ``bool``, ``int``, ``str``, ``bytes``, tuples/lists, frozensets/sets
+    (order-normalized), and :class:`Signature` objects.  Raises
+    ``TypeError`` for anything else, which keeps signing honest about what
+    it covers.
+    """
+    if obj is None:
+        return b"N"
+    if isinstance(obj, bool):
+        return b"T" if obj else b"F"
+    if isinstance(obj, int):
+        return b"i" + str(obj).encode() + b";"
+    if isinstance(obj, str):
+        encoded = obj.encode()
+        return b"s" + str(len(encoded)).encode() + b":" + encoded
+    if isinstance(obj, bytes):
+        return b"b" + str(len(obj)).encode() + b":" + obj
+    if isinstance(obj, Signature):
+        return b"G(" + canonical_encode(obj.signer) + obj.digest + b")"
+    if isinstance(obj, (tuple, list)):
+        return b"(" + b"".join(canonical_encode(item) for item in obj) + b")"
+    if isinstance(obj, (set, frozenset)):
+        parts = sorted(canonical_encode(item) for item in obj)
+        return b"{" + b"".join(parts) + b"}"
+    raise TypeError(f"cannot canonically encode {type(obj).__name__}")
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An opaque signature token: ``signer`` plus a keyed digest."""
+
+    signer: int
+    digest: bytes
+
+
+class KeyStore:
+    """Holds per-process signing secrets; the simulation's trusted PKI."""
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        self.n = n
+        self._secrets = [
+            hashlib.sha256(f"repro-key|{seed}|{pid}".encode()).digest()
+            for pid in range(n)
+        ]
+
+    def _sign(self, signer: int, message: Any) -> Signature:
+        if not (0 <= signer < self.n):
+            raise ValueError(f"unknown signer {signer}")
+        digest = hashlib.sha256(
+            self._secrets[signer] + canonical_encode(message)
+        ).digest()
+        return Signature(signer=signer, digest=digest)
+
+    def verify(self, sig: Any, message: Any) -> bool:
+        """Public verification; tolerates malformed ``sig`` objects."""
+        if not isinstance(sig, Signature):
+            return False
+        if not (0 <= sig.signer < self.n):
+            return False
+        try:
+            expected = self._sign(sig.signer, message)
+        except TypeError:
+            return False
+        return expected.digest == sig.digest
+
+    def handle_for(self, ids: Iterable[int]) -> "SignerHandle":
+        """A signing capability restricted to ``ids``."""
+        return SignerHandle(self, frozenset(ids))
+
+
+class SignerHandle:
+    """Signing capability for a fixed set of identities.
+
+    Honest process ``i`` receives ``handle_for({i})``; the adversary
+    receives ``handle_for(faulty_ids)``.  Attempting to sign outside the
+    set raises :class:`ForgeryError` -- the simulation-level statement of
+    signature unforgeability.
+    """
+
+    def __init__(self, keystore: KeyStore, ids: FrozenSet[int]) -> None:
+        self._keystore = keystore
+        self.ids = ids
+
+    def sign(self, signer: int, message: Any) -> Signature:
+        if signer not in self.ids:
+            raise ForgeryError(f"handle cannot sign for process {signer}")
+        return self._keystore._sign(signer, message)
+
+    def verify(self, sig: Any, message: Any) -> bool:
+        return self._keystore.verify(sig, message)

@@ -1,0 +1,5 @@
+"""Early-stopping Byzantine agreement substrate (phase-king, O(f) rounds)."""
+
+from .protocol import ba_early_stopping
+
+__all__ = ["ba_early_stopping"]

@@ -1,0 +1,31 @@
+"""Experiment harness: sweeps and table formatting."""
+
+from .sweeps import (
+    default_inputs,
+    make_adversary,
+    run_once,
+    sweep_budget,
+    sweep_faults,
+    sweep_scale,
+)
+from .figures import ascii_plot, sparkline
+from .montecarlo import TrialStats, run_single_trial, run_trials
+from .report import generate_report
+from .tables import format_markdown, format_table
+
+__all__ = [
+    "ascii_plot",
+    "default_inputs",
+    "format_markdown",
+    "generate_report",
+    "run_single_trial",
+    "run_trials",
+    "TrialStats",
+    "format_table",
+    "make_adversary",
+    "run_once",
+    "sweep_budget",
+    "sweep_faults",
+    "sweep_scale",
+    "sparkline",
+]

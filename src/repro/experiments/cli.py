@@ -1,0 +1,133 @@
+"""Command-line interface: run executions and sweeps from a shell.
+
+Examples::
+
+    python -m repro solve --n 10 --t 3 --faulty 7,8,9 --budget 12
+    python -m repro sweep-budget --n 33 --t 10 --f 10 --budgets 0,115,230
+    python -m repro sweep-faults --n 25 --t 8 --faults 0,2,4,8
+    python -m repro bound --n 33 --t 10 --f 10 --budget 230
+
+The CLI is a thin shell over :mod:`repro.experiments.sweeps`; anything it
+prints can be reproduced programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..core.wrapper import AUTHENTICATED, UNAUTHENTICATED, total_round_bound
+from ..lowerbounds.messages import message_lower_bound
+from ..lowerbounds.rounds import round_lower_bound
+from .sweeps import run_once, sweep_budget, sweep_faults
+from .tables import format_table
+
+_ROW_COLUMNS = [
+    "n", "t", "f", "B", "mode", "adversary", "agreed", "rounds", "messages",
+    "lb_rounds",
+]
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part != ""]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, required=True, help="process count")
+    parser.add_argument("--t", type=int, required=True, help="fault bound")
+    parser.add_argument(
+        "--mode",
+        choices=[UNAUTHENTICATED, AUTHENTICATED],
+        default=UNAUTHENTICATED,
+    )
+    parser.add_argument(
+        "--generator",
+        choices=["random", "concentrated", "single_holder"],
+        default="concentrated",
+        help="prediction corruption pattern",
+    )
+    parser.add_argument(
+        "--adversary", choices=["silent", "split"], default="silent"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Byzantine Agreement with Predictions (PODC 2025) runner",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve = commands.add_parser("solve", help="run one execution")
+    _add_common(solve)
+    solve.add_argument("--f", type=int, default=0, help="actual fault count")
+    solve.add_argument("--budget", type=int, default=0, help="wrong bits B")
+
+    budget = commands.add_parser("sweep-budget", help="rounds/messages vs B")
+    _add_common(budget)
+    budget.add_argument("--f", type=int, required=True)
+    budget.add_argument("--budgets", type=_int_list, required=True)
+
+    faults = commands.add_parser("sweep-faults", help="rounds vs f")
+    _add_common(faults)
+    faults.add_argument("--faults", type=_int_list, required=True)
+    faults.add_argument("--budget", type=int, default=0)
+
+    bound = commands.add_parser("bound", help="print theoretical envelopes")
+    bound.add_argument("--n", type=int, required=True)
+    bound.add_argument("--t", type=int, required=True)
+    bound.add_argument("--f", type=int, required=True)
+    bound.add_argument("--budget", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    common = dict(
+        mode=getattr(args, "mode", UNAUTHENTICATED),
+        generator=getattr(args, "generator", "concentrated"),
+        adversary_kind=getattr(args, "adversary", "silent"),
+        seed=getattr(args, "seed", 0),
+    )
+    if args.command == "solve":
+        row = run_once(args.n, args.t, args.f, args.budget, **common)
+        print(format_table([row], _ROW_COLUMNS, title="execution"))
+        return 0 if row["agreed"] else 1
+    if args.command == "sweep-budget":
+        rows = sweep_budget(args.n, args.t, args.f, args.budgets, **common)
+        print(format_table(rows, _ROW_COLUMNS, title="sweep over B"))
+        return 0 if all(r["agreed"] for r in rows) else 1
+    if args.command == "sweep-faults":
+        rows = sweep_faults(
+            args.n, args.t, args.faults, budget=args.budget, **common
+        )
+        print(format_table(rows, _ROW_COLUMNS, title="sweep over f"))
+        return 0 if all(r["agreed"] for r in rows) else 1
+    if args.command == "bound":
+        rows = [
+            {
+                "quantity": "round lower bound (Thm 13)",
+                "value": round_lower_bound(args.n, args.t, args.f, args.budget),
+            },
+            {
+                "quantity": "message lower bound (Thm 14)",
+                "value": message_lower_bound(args.n, args.t),
+            },
+            {
+                "quantity": "wrapper round cap (unauth)",
+                "value": total_round_bound(args.t, UNAUTHENTICATED),
+            },
+            {
+                "quantity": "wrapper round cap (auth)",
+                "value": total_round_bound(args.t, AUTHENTICATED),
+            },
+        ]
+        print(format_table(rows, ["quantity", "value"], title="envelopes"))
+        return 0
+    raise AssertionError(args.command)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Monte-Carlo robustness trials.
+
+The theorems are worst-case statements; a production consumer also wants
+distributional evidence: *across many random fault sets, prediction
+corruptions, and adversaries, does the system always agree, and how do
+rounds distribute?*  :func:`run_trials` samples that space with seeded
+randomness and aggregates per-configuration statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import repro
+from ..adversary import (
+    PredictionLiarAdversary,
+    RandomNoiseAdversary,
+    SilentAdversary,
+    SplitWorldAdversary,
+    StallingAdversary,
+)
+from ..predictions import generate
+
+ADVERSARIES = {
+    "silent": lambda rng: SilentAdversary(),
+    "split": lambda rng: SplitWorldAdversary(0, 1),
+    "liar": lambda rng: PredictionLiarAdversary(),
+    "noise": lambda rng: RandomNoiseAdversary(seed=rng.randrange(2**30)),
+    "stalling": lambda rng: StallingAdversary(0, 1),
+}
+
+
+@dataclass
+class TrialStats:
+    """Aggregate outcome of a batch of randomized trials."""
+
+    trials: int
+    agreement_rate: float
+    validity_violations: int
+    rounds_mean: float
+    rounds_max: int
+    messages_mean: float
+
+    def perfect_safety(self) -> bool:
+        return self.agreement_rate == 1.0 and self.validity_violations == 0
+
+
+def run_single_trial(
+    n: int,
+    t: int,
+    rng: random.Random,
+    *,
+    mode: str = "unauthenticated",
+    adversary_kind: Optional[str] = None,
+    max_budget: Optional[int] = None,
+) -> Dict[str, Any]:
+    """One randomized execution: random fault set, budget, generator,
+    inputs, and (optionally random) adversary."""
+    f = rng.randint(0, t)
+    faulty = sorted(rng.sample(range(n), f))
+    honest = [pid for pid in range(n) if pid not in set(faulty)]
+    cap = max_budget if max_budget is not None else 3 * n
+    budget = rng.randint(0, min(cap, len(honest) * n))
+    kind = rng.choice(["random", "concentrated", "single_holder"])
+    adversary_name = adversary_kind or rng.choice(sorted(ADVERSARIES))
+    unanimous = rng.random() < 0.5
+    inputs: List[Any] = (
+        [1] * n if unanimous else [rng.randint(0, 1) for _ in range(n)]
+    )
+    predictions = generate(kind, n, honest, budget, rng)
+    report = repro.solve(
+        n,
+        t,
+        inputs,
+        faulty_ids=faulty,
+        adversary=ADVERSARIES[adversary_name](rng),
+        predictions=predictions,
+        mode=mode,
+        key_seed=rng.randrange(2**30),
+    )
+    valid = (not unanimous) or (report.agreed and report.decision == 1)
+    return {
+        "agreed": report.agreed,
+        "valid": valid,
+        "rounds": report.rounds,
+        "messages": report.messages,
+        "f": f,
+        "B": budget,
+        "adversary": adversary_name,
+    }
+
+
+def run_trials(
+    n: int,
+    t: int,
+    trials: int,
+    seed: int = 0,
+    **kwargs: Any,
+) -> TrialStats:
+    """Run ``trials`` randomized executions and aggregate."""
+    rng = random.Random(seed)
+    rows = [run_single_trial(n, t, rng, **kwargs) for _ in range(trials)]
+    agreements = sum(1 for r in rows if r["agreed"])
+    violations = sum(1 for r in rows if not r["valid"])
+    rounds = [r["rounds"] for r in rows]
+    messages = [r["messages"] for r in rows]
+    return TrialStats(
+        trials=trials,
+        agreement_rate=agreements / trials if trials else 1.0,
+        validity_violations=violations,
+        rounds_mean=sum(rounds) / len(rounds) if rounds else 0.0,
+        rounds_max=max(rounds) if rounds else 0,
+        messages_mean=sum(messages) / len(messages) if messages else 0.0,
+    )

@@ -1,0 +1,134 @@
+"""Programmatic regeneration of the EXPERIMENTS.md result tables.
+
+EXPERIMENTS.md records paper-vs-measured numbers; this module recomputes
+the measured side from scratch so the record stays reproducible::
+
+    from repro.experiments.report import generate_report
+    print(generate_report(scale="small"))
+
+The ``small`` scale finishes in seconds (CI-friendly); ``full`` matches
+the configurations recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import repro
+from ..adversary import StallingAdversary
+from ..lowerbounds import message_lower_bound, round_lower_bound
+from ..predictions import count_errors, perfect_predictions
+from .tables import format_markdown, format_table
+
+
+def hiding_assignment(n: int, faulty: List[int], hide: int):
+    hidden = set(sorted(faulty)[:hide])
+    honest = set(range(n)) - set(faulty)
+    vector = tuple(1 if (j in honest or j in hidden) else 0 for j in range(n))
+    return [vector for _ in range(n)]
+
+
+def t11_rows(n: int, t: int, f: int, hides: List[int]) -> List[Dict]:
+    faulty = list(range(f))
+    honest = [pid for pid in range(n) if pid >= f]
+    inputs = [pid % 2 for pid in range(n)]
+    rows = []
+    for hide in hides:
+        predictions = hiding_assignment(n, faulty, hide)
+        budget = count_errors(predictions, honest).total
+        report = repro.solve(
+            n, t, inputs, faulty_ids=faulty,
+            adversary=StallingAdversary(0, 1), predictions=predictions,
+        )
+        rows.append(
+            {
+                "hidden": hide,
+                "B": budget,
+                "rounds": report.rounds,
+                "messages": report.messages,
+                "agreed": report.agreed,
+            }
+        )
+    return rows
+
+
+def t13_rows(n: int, t: int, fs: List[int]) -> List[Dict]:
+    rows = []
+    for f in fs:
+        for hide in sorted({0, f}):
+            faulty = list(range(f))
+            honest = [pid for pid in range(n) if pid >= f]
+            predictions = hiding_assignment(n, faulty, hide)
+            budget = count_errors(predictions, honest).total
+            report = repro.solve(
+                n, t, [pid % 2 for pid in range(n)], faulty_ids=faulty,
+                adversary=StallingAdversary(0, 1), predictions=predictions,
+            )
+            rows.append(
+                {
+                    "f": f,
+                    "B": budget,
+                    "lb": round_lower_bound(n, t, f, budget),
+                    "measured": report.rounds,
+                    "agreed": report.agreed,
+                }
+            )
+    return rows
+
+
+def t14_rows(sizes: List[int]) -> List[Dict]:
+    rows = []
+    for n in sizes:
+        t = (n - 1) // 3
+        faulty = list(range(n - t, n))
+        honest = [pid for pid in range(n) if pid < n - t]
+        report = repro.solve(
+            n, t, [pid % 2 for pid in range(n)], faulty_ids=faulty,
+            predictions=perfect_predictions(n, honest),
+        )
+        rows.append(
+            {
+                "n": n,
+                "t": t,
+                "lb": message_lower_bound(n, t),
+                "measured": report.messages,
+                "agreed": report.agreed,
+            }
+        )
+    return rows
+
+
+_SCALES = {
+    "small": dict(
+        t11=dict(n=13, t=4, f=4, hides=[0, 4]),
+        t13=dict(n=13, t=4, fs=[1, 4]),
+        t14=dict(sizes=[7, 10]),
+    ),
+    "full": dict(
+        t11=dict(n=33, t=10, f=10, hides=[0, 2, 5, 8, 10]),
+        t13=dict(n=25, t=7, fs=[1, 4, 7]),
+        t14=dict(sizes=[10, 16, 22, 28]),
+    ),
+}
+
+
+def generate_report(scale: str = "small", markdown: bool = False) -> str:
+    """Recompute the headline experiment tables at the chosen scale."""
+    try:
+        config = _SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; use 'small' or 'full'")
+    render = format_markdown if markdown else (
+        lambda rows, cols: format_table(rows, cols)
+    )
+    sections = []
+    rows = t11_rows(**config["t11"])
+    sections.append("## T11: rounds vs B (unauthenticated)")
+    sections.append(render(rows, ["hidden", "B", "rounds", "messages", "agreed"]))
+    rows = t13_rows(**config["t13"])
+    sections.append("## T13: measured rounds vs round lower bound")
+    sections.append(render(rows, ["f", "B", "lb", "measured", "agreed"]))
+    rows = t14_rows(**config["t14"])
+    sections.append("## T14: messages with perfect predictions vs lower bound")
+    sections.append(render(rows, ["n", "t", "lb", "measured", "agreed"]))
+    return "\n\n".join(sections)

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The paper is a theory paper -- its "tables" are theorem statements.  The
+benchmark harness regenerates each theorem as a measured table; this module
+renders those rows the same way for benches, examples, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned monospace table."""
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    widths = {
+        col: max(len(col), *(len(render(row.get(col, ""))) for row in rows))
+        if rows
+        else len(col)
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.rjust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(render(row.get(col, "")).rjust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_markdown(
+    rows: Sequence[Dict[str, Any]], columns: Sequence[str]
+) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(columns) + " |"]
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(str(row.get(col, "")) for col in columns) + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Graded consensus protocols: core-set (Alg. 3), full-network, certified."""
+
+from .auth import graded_consensus_auth
+from .core_set import graded_consensus_with_core_set
+from .unauth import graded_consensus, graded_consensus_3
+
+__all__ = [
+    "graded_consensus",
+    "graded_consensus_3",
+    "graded_consensus_auth",
+    "graded_consensus_with_core_set",
+]

@@ -1,0 +1,17 @@
+"""Lower-bound constructions (Section 10 of the paper)."""
+
+from .messages import (
+    ignore_then_silence_attack,
+    lazy_trusting_broadcast,
+    message_lower_bound,
+)
+from .rounds import hiding_predictions, max_hidable_faults, round_lower_bound
+
+__all__ = [
+    "hiding_predictions",
+    "ignore_then_silence_attack",
+    "lazy_trusting_broadcast",
+    "max_hidable_faults",
+    "message_lower_bound",
+    "round_lower_bound",
+]

@@ -1,0 +1,93 @@
+"""Message-complexity lower bound (Theorem 14) and its demonstrators.
+
+Theorem 14: every deterministic Byzantine broadcast (hence agreement)
+protocol with predictions has an execution with 100% correct predictions in
+which honest processes send ``Omega(n + t^2)`` messages -- predictions buy
+*no* message-complexity relief.  The proof is a Dolev-Reischuk-style
+indistinguishability argument: if some process in a chosen faulty set ``B``
+(size ``t/2``) receives fewer than ``t/2`` messages, the adversary can turn
+it honest, suppress exactly those messages, and make it decide a default
+value while everyone else is none the wiser.
+
+A lower bound cannot be "run", but its two ingredients can:
+
+* :func:`message_lower_bound` -- the explicit envelope benchmarks compare
+  measured counts against;
+* :class:`LazyTrustingBroadcast` -- a strawman that believes perfect
+  predictions and spends only ``O(n)`` messages; the scripted
+  Dolev-Reischuk adversary (:func:`ignore_then_silence_attack`) breaks its
+  agreement, concretely exhibiting why ``o(t^2)``-message protocols fail
+  even with accurate predictions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from ..net.adversary import AdversaryView, AdversaryWorld
+from ..net.context import ProcessContext
+from ..net.message import Envelope, by_tag
+
+
+def message_lower_bound(n: int, t: int) -> int:
+    """The explicit count from the Theorem 14 proof: ``max(n/4, t/2 * t/2)``.
+
+    Each of the ``floor(t/2)`` processes in the proof's set ``B`` must
+    receive at least ``ceil(t/2)`` honest messages, and independently any
+    protocol must send ``ceil(n/4)`` messages.
+    """
+    quadratic = (t // 2) * ((t + 1) // 2)
+    linear = (n + 3) // 4
+    return max(linear, quadratic)
+
+
+_LAZY_TAG = ("lazy-bb",)
+
+
+def lazy_trusting_broadcast(
+    ctx: ProcessContext,
+    sender: int,
+    value: Any,
+    prediction: tuple,
+    default: Any = 0,
+) -> Generator[List[Envelope], List[Envelope], Any]:
+    """The strawman: trust the prediction, skip the quadratic echo phase.
+
+    The designated sender broadcasts its value (``O(n)`` messages); every
+    receiver that predicts the sender honest decides whatever it received
+    (or ``default`` when silent); receivers that predict the sender faulty
+    decide ``default`` outright.  With perfect predictions and an honest
+    sender this is correct and blazingly cheap -- and Theorem 14 says that
+    cheapness is fatal: an equivocating (or selectively silent) sender
+    splits the honest processes with no way to detect it.
+    """
+    outgoing = ctx.broadcast(_LAZY_TAG, value) if ctx.pid == sender else []
+    inbox = yield outgoing
+    if prediction[sender] == 0:
+        return default
+    received = [body for origin, body in by_tag(inbox, _LAZY_TAG) if origin == sender]
+    if received:
+        return received[0]
+    return default
+
+
+def ignore_then_silence_attack(split_value_a: Any, split_value_b: Any):
+    """Script for :class:`~repro.adversary.ScriptedAdversary`: the faulty
+    sender equivocates between two halves of the honest processes --
+    the concrete Ebad-style execution that breaks the strawman."""
+
+    def script(view: AdversaryView, world: AdversaryWorld) -> List[Envelope]:
+        if view.round_no != 1:
+            return []
+        honest = world.honest_ids
+        half = len(honest) // 2
+        outgoing = []
+        for faulty_pid in sorted(world.faulty_ids):
+            for index, pid in enumerate(honest):
+                value = split_value_a if index < half else split_value_b
+                outgoing.append(
+                    Envelope(faulty_pid, pid, (_LAZY_TAG, value))
+                )
+        return outgoing
+
+    return script

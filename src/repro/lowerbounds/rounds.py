@@ -1,0 +1,66 @@
+"""Round-complexity lower bound (Theorem 13).
+
+For every deterministic Byzantine agreement algorithm with classification
+predictions and every ``f <= t < n - 1``, there is an execution with ``f``
+faults taking at least
+
+    min{ f + 2,  t + 1,  floor(B / (n - f)) + 2,  floor(B / (n - t)) + 1 }
+
+rounds.  The proof reduces to the classic ``min{f + 2, t + 1}`` bound for
+agreement *without* predictions [21]: if ``B`` is large the all-honest
+prediction hides every fault; otherwise ``x = f - floor(B/(n - f))`` faults
+can be hidden behind predictions marking the other ``x`` processes faulty,
+and the remaining system inherits the classic bound.
+
+This module exposes the bound as a function (used by benchmarks to check
+that measured rounds respect -- and track the shape of -- the bound) plus
+the adversarial prediction construction from the proof.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..predictions.model import PredictionAssignment
+
+
+def round_lower_bound(n: int, t: int, f: int, budget: int) -> int:
+    """Theorem 13's bound on rounds, for an execution with ``f`` faults."""
+    if not 0 <= f <= t < n - 1:
+        raise ValueError("need 0 <= f <= t < n - 1")
+    candidates = [f + 2, t + 1]
+    if n - f > 0:
+        candidates.append(budget // (n - f) + 2)
+    if n - t > 0:
+        candidates.append(budget // (n - t) + 1)
+    return max(1, min(candidates))
+
+
+def hiding_predictions(
+    n: int, honest_ids: Iterable[int], hidden_faulty: Iterable[int]
+) -> Tuple[PredictionAssignment, int]:
+    """The proof's construction: predictions that miss ``hidden_faulty``.
+
+    Every process receives the ground truth *except* that the faulty
+    processes in ``hidden_faulty`` are predicted honest.  Returns the
+    assignment and the error budget it burns: ``(n - f) * |hidden|`` (each
+    of the ``n - f`` honest holders carries one wrong bit per hidden
+    process), matching the proof's accounting.
+    """
+    honest = set(honest_ids)
+    hidden = set(hidden_faulty)
+    if hidden & honest:
+        raise ValueError("hidden processes must be faulty")
+    vector = tuple(
+        1 if (j in honest or j in hidden) else 0 for j in range(n)
+    )
+    assignment = [vector for _ in range(n)]
+    burned = len(honest) * len(hidden)
+    return assignment, burned
+
+
+def max_hidable_faults(n: int, f: int, budget: int) -> int:
+    """How many of the ``f`` faults a ``budget``-limited prediction can hide."""
+    if n - f <= 0:
+        return f
+    return min(f, budget // (n - f))

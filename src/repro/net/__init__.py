@@ -1,0 +1,38 @@
+"""Synchronous round-based network simulator (the paper's execution model)."""
+
+from .adversary import Adversary, AdversaryView, AdversaryWorld
+from .context import ProcessContext
+from .engine import ExecutionResult, Network
+from .message import Envelope, by_tag, senders_of, tagged
+from .metrics import MetricsCollector, payload_bits
+from .trace import RoundRecord, Tracer, render_trace
+from .protocol import (
+    SimulationTimeout,
+    idle,
+    run_exactly,
+    run_parallel,
+    run_to_completion,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversaryView",
+    "AdversaryWorld",
+    "Envelope",
+    "ExecutionResult",
+    "MetricsCollector",
+    "Network",
+    "ProcessContext",
+    "RoundRecord",
+    "SimulationTimeout",
+    "Tracer",
+    "by_tag",
+    "idle",
+    "payload_bits",
+    "run_exactly",
+    "run_parallel",
+    "run_to_completion",
+    "render_trace",
+    "senders_of",
+    "tagged",
+]

@@ -1,0 +1,79 @@
+"""Adversary interface seen by the round engine.
+
+The Byzantine adversary in this simulator is a single strategy object that
+controls *all* faulty processes.  It is deliberately strong:
+
+* **Rushing** -- each round it observes every honest message of that round
+  before choosing what the faulty processes send.
+* **Omniscient** -- it can inspect honest inputs, predictions, and the full
+  delivery history exposed through the :class:`AdversaryWorld`.
+* **Adaptive payloads** -- it may send arbitrary payloads, but only under
+  faulty sender identities (the engine enforces channel authentication).
+
+Lower-bound constructions (Section 10 of the paper) need exactly this power;
+protocol correctness is proven against it, so passing tests here is
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence
+
+from .message import Envelope
+
+
+@dataclass
+class AdversaryWorld:
+    """Static facts the adversary learns before round 1.
+
+    Attributes:
+        n: number of processes.
+        t: protocol-known fault bound.
+        faulty_ids: identifiers the adversary controls.
+        honest_inputs: proposal of each honest process (Byzantine adversaries
+            know honest inputs in the worst case analysis).
+        predictions: the full prediction assignment, if the scenario has one.
+        signer: signing handle restricted to faulty identities, when the
+            execution is authenticated.
+        scenario: free-form extras a scenario wants to expose.
+    """
+
+    n: int
+    t: int
+    faulty_ids: FrozenSet[int]
+    honest_inputs: Dict[int, Any] = field(default_factory=dict)
+    predictions: Optional[Sequence[Any]] = None
+    signer: Optional[Any] = None
+    scenario: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def honest_ids(self) -> List[int]:
+        return [i for i in range(self.n) if i not in self.faulty_ids]
+
+
+@dataclass
+class AdversaryView:
+    """Per-round information handed to the adversary (rushing model)."""
+
+    round_no: int
+    honest_outgoing: List[Envelope]
+    inbox_to_faulty: List[Envelope]
+
+    def messages_to(self, pid: int) -> List[Envelope]:
+        return [e for e in self.honest_outgoing if e.recipient == pid]
+
+
+class Adversary:
+    """Base strategy: silent faulty processes (crash at time zero).
+
+    Subclasses override :meth:`step`; :meth:`bind` is called once before the
+    first round with the :class:`AdversaryWorld`.
+    """
+
+    def bind(self, world: AdversaryWorld) -> None:
+        self.world = world
+
+    def step(self, view: AdversaryView) -> List[Envelope]:
+        """Return the envelopes faulty processes send this round."""
+        return []

@@ -1,0 +1,209 @@
+"""The lock-step synchronous round engine.
+
+:class:`Network` realizes the paper's execution model exactly:
+
+* rounds proceed in lock step; a message sent in round ``r`` is received in
+  round ``r`` by its addressee (reliable, authenticated channels), and the
+  receipt informs the sender's round ``r+1`` behaviour;
+* honest processes run protocol coroutines (see
+  :mod:`repro.net.context`); faulty processes are personified by a single
+  rushing :class:`~repro.net.adversary.Adversary` strategy that sees all
+  honest round-``r`` traffic before emitting its own round-``r`` messages;
+* the engine records exact round and message complexity through
+  :class:`~repro.net.metrics.MetricsCollector`, counting only messages sent
+  by honest processes, per the paper's complexity definition.
+
+An execution ends when every honest process has returned from its protocol
+coroutine; the per-process return values are the decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set
+
+from .adversary import Adversary, AdversaryView, AdversaryWorld
+from .context import ProcessContext
+from .message import Envelope
+from .metrics import MetricsCollector
+from .protocol import SimulationTimeout
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated execution."""
+
+    decisions: Dict[int, Any]
+    metrics: MetricsCollector
+    honest_ids: List[int]
+
+    @property
+    def decision_values(self) -> Set[Any]:
+        return set(self.decisions.values())
+
+    @property
+    def agreed(self) -> bool:
+        """All honest processes decided, on a single common value."""
+        return len(self.decisions) == len(self.honest_ids) and len(self.decision_values) == 1
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+    @property
+    def messages(self) -> int:
+        return self.metrics.honest_messages
+
+
+class _HonestDriver:
+    """Adapts one protocol coroutine to the engine's round loop."""
+
+    def __init__(self, pid: int, generator: Generator) -> None:
+        self.pid = pid
+        self.generator = generator
+        self.finished = False
+        self.result: Any = None
+
+    def start(self) -> List[Envelope]:
+        return self._advance(None)
+
+    def resume(self, inbox: List[Envelope]) -> List[Envelope]:
+        if self.finished:
+            return []
+        return self._advance(inbox)
+
+    def _advance(self, inbox: Optional[List[Envelope]]) -> List[Envelope]:
+        try:
+            outgoing = self.generator.send(inbox)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            return []
+        return list(outgoing or [])
+
+
+class Network:
+    """Synchronous network simulator driving one execution.
+
+    Args:
+        n: number of processes.
+        t: protocol-known fault bound.
+        honest_ids: identifiers of honest processes; the rest are faulty and
+            controlled by ``adversary``.
+        protocol_factory: callable ``(ProcessContext) -> generator`` building
+            each honest process's coroutine.
+        adversary: strategy object for all faulty processes.
+        world: facts exposed to the adversary before round 1.
+        signer_for: optional callable giving each honest pid a signing
+            handle (authenticated executions).
+        max_rounds: safety cap; exceeding it raises
+            :class:`~repro.net.protocol.SimulationTimeout`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        honest_ids: Iterable[int],
+        protocol_factory: Callable[[ProcessContext], Generator],
+        adversary: Optional[Adversary] = None,
+        world: Optional[AdversaryWorld] = None,
+        signer_for: Optional[Callable[[int], Any]] = None,
+        max_rounds: int = 100_000,
+        observer: Optional[Any] = None,
+    ) -> None:
+        self.n = n
+        self.t = t
+        self.honest_ids = sorted(set(honest_ids))
+        if any(pid < 0 or pid >= n for pid in self.honest_ids):
+            raise ValueError("honest ids must lie in 0..n-1")
+        self.faulty_ids = frozenset(set(range(n)) - set(self.honest_ids))
+        self.adversary = adversary or Adversary()
+        self.world = world or AdversaryWorld(n=n, t=t, faulty_ids=self.faulty_ids)
+        self.max_rounds = max_rounds
+        self.observer = observer
+        self.metrics = MetricsCollector()
+        self._drivers: Dict[int, _HonestDriver] = {}
+        for pid in self.honest_ids:
+            signer = signer_for(pid) if signer_for is not None else None
+            ctx = ProcessContext(pid=pid, n=n, t=t, signer=signer)
+            self._drivers[pid] = _HonestDriver(pid, protocol_factory(ctx))
+
+    def run(self) -> ExecutionResult:
+        """Execute until every honest process returns; collect decisions."""
+        self.adversary.bind(self.world)
+        outgoing: List[Envelope] = []
+        for pid in self.honest_ids:
+            outgoing.extend(self._validated(self._drivers[pid].start(), pid))
+        round_no = 0
+        self._note_decisions(round_no)
+
+        while not all(driver.finished for driver in self._drivers.values()):
+            if round_no >= self.max_rounds:
+                raise SimulationTimeout(
+                    f"honest processes undecided after {round_no} rounds"
+                )
+            round_no += 1
+            self.metrics.record_round()
+            self._note_sends(outgoing)
+            faulty_out = self._adversary_round(round_no, outgoing)
+            if self.observer is not None:
+                self.observer.on_round(round_no, list(outgoing), list(faulty_out))
+            inboxes = self._route(outgoing, faulty_out)
+            outgoing = []
+            for pid in self.honest_ids:
+                produced = self._drivers[pid].resume(inboxes.get(pid, []))
+                outgoing.extend(self._validated(produced, pid))
+            self._note_decisions(round_no)
+
+        decisions = {pid: d.result for pid, d in self._drivers.items()}
+        return ExecutionResult(
+            decisions=decisions, metrics=self.metrics, honest_ids=list(self.honest_ids)
+        )
+
+    def _adversary_round(self, round_no: int, honest_out: List[Envelope]) -> List[Envelope]:
+        inbox_to_faulty = [e for e in honest_out if e.recipient in self.faulty_ids]
+        view = AdversaryView(
+            round_no=round_no,
+            honest_outgoing=list(honest_out),
+            inbox_to_faulty=inbox_to_faulty,
+        )
+        produced = self.adversary.step(view) or []
+        validated = []
+        for env in produced:
+            if env.sender not in self.faulty_ids:
+                raise ValueError(
+                    f"adversary attempted to spoof sender {env.sender}; "
+                    "channels are authenticated"
+                )
+            if not (0 <= env.recipient < self.n):
+                raise ValueError(f"invalid recipient {env.recipient}")
+            validated.append(env)
+        return validated
+
+    def _validated(self, outgoing: List[Envelope], pid: int) -> List[Envelope]:
+        for env in outgoing:
+            if env.sender != pid:
+                raise ValueError(f"process {pid} tried to send as {env.sender}")
+            if not (0 <= env.recipient < self.n):
+                raise ValueError(f"invalid recipient {env.recipient}")
+        return outgoing
+
+    def _route(
+        self, honest_out: List[Envelope], faulty_out: List[Envelope]
+    ) -> Dict[int, List[Envelope]]:
+        inboxes: Dict[int, List[Envelope]] = {}
+        for env in honest_out + faulty_out:
+            inboxes.setdefault(env.recipient, []).append(env)
+        return inboxes
+
+    def _note_sends(self, honest_out: List[Envelope]) -> None:
+        for env in honest_out:
+            self.metrics.record_send(env)
+
+    def _note_decisions(self, round_no: int) -> None:
+        for pid, driver in self._drivers.items():
+            if driver.finished and pid not in self.metrics.decision_round:
+                self.metrics.record_decision(pid, round_no)
+                if self.observer is not None:
+                    self.observer.on_decision(pid, round_no)

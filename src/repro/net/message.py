@@ -1,0 +1,84 @@
+"""Message and envelope types for the synchronous round-based simulator.
+
+The paper's model is a synchronous message-passing network: in each round,
+every process may transmit messages to other processes, receive the messages
+transmitted to it in that round, and update its state.  An :class:`Envelope`
+is one point-to-point transmission.  The channel model is the standard one
+for Byzantine agreement: the receiver learns the *authentic identity* of the
+sender (oral-messages model), so a faulty process cannot spoof an honest
+sender id, but it may send arbitrary payloads.
+
+Payload convention
+------------------
+Every payload produced by the honest protocol implementations in this
+library is a pair ``(tag, body)`` where ``tag`` is a tuple of hashables
+identifying the (sub)protocol instance and its internal round (for example
+``("ba", 2, "gc1", "r2")``).  Tagging lets sequentially and concurrently
+composed sub-protocols share the network without confusing each other's
+traffic, and lets the metrics layer attribute message counts to protocol
+components.  Byzantine senders are of course free to send malformed
+payloads; all protocol code treats inbound payloads as untrusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A single point-to-point message transmission.
+
+    Attributes:
+        sender: id of the transmitting process (authenticated by the
+            channel; the engine enforces that faulty processes only send
+            under their own ids).
+        recipient: id of the destination process.
+        payload: arbitrary message content; honest protocols always use
+            ``(tag, body)`` pairs.
+    """
+
+    sender: int
+    recipient: int
+    payload: Any
+
+    def tag(self) -> Any:
+        """Return the payload tag, or ``None`` for malformed payloads."""
+        if isinstance(self.payload, tuple) and len(self.payload) == 2:
+            return self.payload[0]
+        return None
+
+    def body(self) -> Any:
+        """Return the payload body, or ``None`` for malformed payloads."""
+        if isinstance(self.payload, tuple) and len(self.payload) == 2:
+            return self.payload[1]
+        return None
+
+
+def tagged(tag: Tuple, body: Any) -> Tuple:
+    """Build a tagged payload."""
+    return (tag, body)
+
+
+def by_tag(inbox: Iterable[Envelope], tag: Tuple) -> List[Tuple[int, Any]]:
+    """Extract ``(sender, body)`` pairs whose payload tag equals ``tag``.
+
+    At most one message per sender is kept (the first delivered); honest
+    processes never send two messages with the same tag in one round, so
+    deduplication only disarms Byzantine double-sends, matching the paper's
+    one-message-per-pair-per-round model.
+    """
+    seen = set()
+    out: List[Tuple[int, Any]] = []
+    for env in inbox:
+        if env.tag() != tag or env.sender in seen:
+            continue
+        seen.add(env.sender)
+        out.append((env.sender, env.body()))
+    return out
+
+
+def senders_of(pairs: Sequence[Tuple[int, Any]]) -> List[int]:
+    """Return the sender ids of a ``by_tag`` result."""
+    return [sender for sender, _ in pairs]

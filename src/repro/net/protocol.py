@@ -1,0 +1,114 @@
+"""Composition utilities for round-driven protocol coroutines.
+
+The paper's wrapper (Algorithm 1) runs each sub-protocol for *exactly* ``T``
+rounds -- "every process synchronously spends T time (no less, no more) on
+the sub-protocol, aborting it if necessary".  :func:`run_exactly` implements
+that contract for generator-based protocols: the sub-protocol is driven for
+exactly ``T`` yields; if it finishes early the process idles (sending
+nothing) for the remaining rounds, and if it has not finished by round ``T``
+it is aborted and a fallback result is returned.  Because every honest
+process applies the same schedule, global lock-step alignment is preserved
+across composed sub-protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Tuple
+
+from .message import Envelope
+
+
+class SimulationTimeout(Exception):
+    """Raised by the engine when honest processes fail to terminate."""
+
+
+def run_exactly(
+    num_rounds: int,
+    sub: Generator,
+    fallback: Any = None,
+) -> Generator[List[Envelope], List[Envelope], Tuple[Any, bool]]:
+    """Drive ``sub`` for exactly ``num_rounds`` rounds.
+
+    Returns ``(result, finished)``: ``result`` is the sub-protocol's return
+    value if it completed within the budget, else ``fallback``; ``finished``
+    says which case occurred.  Intended usage::
+
+        result, ok = yield from run_exactly(T, graded_consensus(...), v)
+
+    Early completion pads with silent rounds; late completion is aborted by
+    closing the generator, matching the paper's time-limited sub-protocol
+    semantics.
+    """
+    done = False
+    result = fallback
+    pending: List[Envelope] = []
+    try:
+        pending = sub.send(None)
+    except StopIteration as stop:
+        done, result = True, stop.value
+        pending = []
+    for _ in range(num_rounds):
+        inbox = yield (pending if not done else [])
+        pending = []
+        if not done:
+            try:
+                pending = sub.send(inbox)
+            except StopIteration as stop:
+                done, result = True, stop.value
+                pending = []
+    if not done:
+        sub.close()
+    return result, done
+
+
+def idle(num_rounds: int) -> Generator[List[Envelope], List[Envelope], None]:
+    """Spend ``num_rounds`` rounds sending nothing and ignoring the inbox."""
+    for _ in range(num_rounds):
+        yield []
+
+
+def run_to_completion(sub: Generator) -> Generator[List[Envelope], List[Envelope], Any]:
+    """Drive ``sub`` until it returns, forwarding its rounds unchanged.
+
+    Equivalent to ``yield from sub`` but usable when the caller holds a
+    generator object rather than delegating syntactically.
+    """
+    result = yield from sub
+    return result
+
+
+def run_parallel(
+    subs: List[Generator],
+) -> Generator[List[Envelope], List[Envelope], List[Any]]:
+    """Run sub-protocols concurrently, sharing each round's sends and inbox.
+
+    Every sub-protocol receives the *full* inbox each round and is expected
+    to filter by its own tags (the library-wide convention), which is how
+    Algorithm 7 runs ``n`` Byzantine-broadcast instances in parallel.  The
+    combined protocol finishes when the slowest sub-protocol finishes;
+    early finishers idle.  Returns the list of results in input order.
+    """
+    total = len(subs)
+    results: List[Any] = [None] * total
+    done = [False] * total
+    pending: List[List[Envelope]] = [[] for _ in range(total)]
+    for idx, sub in enumerate(subs):
+        try:
+            pending[idx] = sub.send(None)
+        except StopIteration as stop:
+            done[idx], results[idx] = True, stop.value
+            pending[idx] = []
+    while not all(done):
+        merged: List[Envelope] = []
+        for out in pending:
+            merged.extend(out)
+        inbox = yield merged
+        for idx, sub in enumerate(subs):
+            pending[idx] = []
+            if done[idx]:
+                continue
+            try:
+                pending[idx] = sub.send(inbox)
+            except StopIteration as stop:
+                done[idx], results[idx] = True, stop.value
+    return results

@@ -1,0 +1,37 @@
+"""Classification predictions: representation, accounting, generators."""
+
+from .generators import (
+    GENERATORS,
+    corrupt_concentrated,
+    corrupt_random,
+    corrupt_single_holder,
+    generate,
+    misclassification_cost,
+    perfect_predictions,
+)
+from .model import (
+    ErrorCounts,
+    Prediction,
+    PredictionAssignment,
+    correct_prediction,
+    count_errors,
+    from_suspect_sets,
+    validate_assignment,
+)
+
+__all__ = [
+    "ErrorCounts",
+    "GENERATORS",
+    "Prediction",
+    "PredictionAssignment",
+    "correct_prediction",
+    "corrupt_concentrated",
+    "corrupt_random",
+    "corrupt_single_holder",
+    "count_errors",
+    "from_suspect_sets",
+    "generate",
+    "misclassification_cost",
+    "perfect_predictions",
+    "validate_assignment",
+]

@@ -1,0 +1,170 @@
+"""Synthetic prediction generators with exact error budgets.
+
+The paper's theorems are parameterized solely by ``B``, the number of
+incorrect prediction bits held by honest processes.  These generators stand
+in for the paper's hypothetical AI security monitor: each produces an
+assignment whose error count is *exactly* the requested budget, arranged in
+different patterns:
+
+* :func:`perfect_predictions` -- ``B = 0``.
+* :func:`corrupt_random` -- ``B`` flips scattered uniformly (a noisy but
+  unbiased monitor).
+* :func:`corrupt_concentrated` -- flips packed to misclassify as many
+  processes as possible (a monitor defeated on specific targets; the
+  worst case driving Lemma 1's bound).
+* :func:`corrupt_single_holder` -- all flips inside few holders' strings (a
+  few subverted monitor endpoints; classification voting shrugs this off).
+
+All randomness flows through an injected ``random.Random`` for determinism.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence, Set
+
+from .model import PredictionAssignment, correct_prediction
+
+
+def perfect_predictions(n: int, honest_ids: Iterable[int]) -> PredictionAssignment:
+    """Every process receives the ground-truth classification."""
+    truth = correct_prediction(n, honest_ids)
+    return [truth for _ in range(n)]
+
+
+def _flip(assignment: PredictionAssignment, holder: int, subject: int) -> None:
+    row = list(assignment[holder])
+    row[subject] = 1 - row[subject]
+    assignment[holder] = tuple(row)
+
+
+def corrupt_random(
+    n: int,
+    honest_ids: Iterable[int],
+    budget: int,
+    rng: random.Random,
+) -> PredictionAssignment:
+    """Exactly ``budget`` uniformly random wrong bits in honest strings."""
+    honest = sorted(set(honest_ids))
+    capacity = len(honest) * n
+    if budget > capacity:
+        raise ValueError(f"budget {budget} exceeds capacity {capacity}")
+    assignment = perfect_predictions(n, honest)
+    cells = [(i, j) for i in honest for j in range(n)]
+    for holder, subject in rng.sample(cells, budget):
+        _flip(assignment, holder, subject)
+    return assignment
+
+
+def misclassification_cost(n: int, f: int, subject_is_honest: bool) -> int:
+    """Min wrong bits to make one process *possibly* misclassified.
+
+    With perfect remaining predictions and faulty voters colluding: an
+    honest subject needs its honest supporting votes pushed below
+    ``ceil((n+1)/2)`` (Observation 2), a faulty subject needs honest votes
+    *for* it raised to ``ceil((n+1)/2) - f`` (Observation 1).
+    """
+    majority = (n + 1 + 1) // 2  # ceil((n+1)/2)
+    n_honest = n - f
+    if subject_is_honest:
+        return max(0, n_honest - majority + 1)
+    return max(0, majority - f)
+
+
+def corrupt_concentrated(
+    n: int,
+    honest_ids: Iterable[int],
+    budget: int,
+    rng: random.Random,
+) -> PredictionAssignment:
+    """Pack ``budget`` wrong bits to maximize misclassified processes.
+
+    Greedily selects victim subjects (cheapest first) and flips exactly the
+    bits needed to let a colluding classification-time adversary flip the
+    vote on each victim; leftover budget is spent on scattered flips that
+    cannot create further misclassifications.
+    """
+    honest = sorted(set(honest_ids))
+    honest_set: Set[int] = set(honest)
+    faulty = [j for j in range(n) if j not in honest_set]
+    f = len(faulty)
+    capacity = len(honest) * n
+    if budget > capacity:
+        raise ValueError(f"budget {budget} exceeds capacity {capacity}")
+    assignment = perfect_predictions(n, honest)
+    remaining = budget
+    flipped: Set[tuple] = set()
+
+    victims: List[tuple] = [(misclassification_cost(n, f, False), j) for j in faulty]
+    victims += [(misclassification_cost(n, f, True), j) for j in honest]
+    victims.sort()
+    for cost, subject in victims:
+        if cost <= 0 or cost > remaining:
+            continue
+        holders = [i for i in honest if i != subject][:cost]
+        if len(holders) < cost:
+            continue
+        for holder in holders:
+            _flip(assignment, holder, subject)
+            flipped.add((holder, subject))
+        remaining -= cost
+    if remaining:
+        cells = [
+            (i, j) for i in honest for j in range(n) if (i, j) not in flipped
+        ]
+        for holder, subject in rng.sample(cells, remaining):
+            _flip(assignment, holder, subject)
+    return assignment
+
+
+def corrupt_single_holder(
+    n: int,
+    honest_ids: Iterable[int],
+    budget: int,
+    rng: random.Random,
+) -> PredictionAssignment:
+    """Concentrate all wrong bits in as few honest holders as possible.
+
+    Models a handful of fully subverted monitor endpoints.  Majority voting
+    in the classifier makes these flips harmless unless roughly ``n/2``
+    holders are subverted -- a useful contrast scenario for benchmarks.
+    """
+    honest = sorted(set(honest_ids))
+    capacity = len(honest) * n
+    if budget > capacity:
+        raise ValueError(f"budget {budget} exceeds capacity {capacity}")
+    assignment = perfect_predictions(n, honest)
+    remaining = budget
+    for holder in honest:
+        take = min(remaining, n)
+        subjects = rng.sample(range(n), take) if take < n else list(range(n))
+        for subject in subjects:
+            _flip(assignment, holder, subject)
+        remaining -= take
+        if remaining == 0:
+            break
+    return assignment
+
+
+GENERATORS = {
+    "random": corrupt_random,
+    "concentrated": corrupt_concentrated,
+    "single_holder": corrupt_single_holder,
+}
+
+
+def generate(
+    kind: str,
+    n: int,
+    honest_ids: Iterable[int],
+    budget: int,
+    rng: random.Random,
+) -> PredictionAssignment:
+    """Dispatch by generator name (see :data:`GENERATORS`)."""
+    if budget == 0:
+        return perfect_predictions(n, honest_ids)
+    try:
+        generator = GENERATORS[kind]
+    except KeyError:
+        raise ValueError(f"unknown generator kind {kind!r}") from None
+    return generator(n, honest_ids, budget, rng)

@@ -1,0 +1,88 @@
+"""Classification predictions and their error accounting (Section 3).
+
+Each process ``p_i`` receives an ``n``-bit string ``a_i`` where
+``a_i[j] = 1`` predicts that ``p_j`` is honest and ``a_i[j] = 0`` predicts
+that it is faulty.  For a given execution with honest set ``H``:
+
+* ``B_F`` counts bits, held by honest processes, that predict a faulty
+  process as honest (missed detections);
+* ``B_H`` counts bits, held by honest processes, that predict an honest
+  process as faulty (false alarms);
+* ``B = B_F + B_H`` is the total prediction error.  Bits held by faulty
+  processes are *not* counted.
+
+Predictions are represented as tuples of 0/1 ints; a full assignment is a
+list of ``n`` such tuples indexed by process id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+Prediction = Tuple[int, ...]
+PredictionAssignment = List[Prediction]
+
+
+@dataclass(frozen=True)
+class ErrorCounts:
+    """Breakdown of incorrect prediction bits held by honest processes."""
+
+    missed_faulty: int  # B_F: faulty predicted honest
+    false_alarms: int  # B_H: honest predicted faulty
+
+    @property
+    def total(self) -> int:
+        """B, the paper's prediction-quality parameter."""
+        return self.missed_faulty + self.false_alarms
+
+
+def correct_prediction(n: int, honest_ids: Iterable[int]) -> Prediction:
+    """The ground-truth classification vector (the paper's ``c-hat``)."""
+    honest = set(honest_ids)
+    return tuple(1 if j in honest else 0 for j in range(n))
+
+
+def count_errors(
+    assignment: Sequence[Prediction], honest_ids: Iterable[int]
+) -> ErrorCounts:
+    """Count ``B_F`` and ``B_H`` over the honest processes' strings."""
+    honest: Set[int] = set(honest_ids)
+    n = len(assignment)
+    missed = 0
+    alarms = 0
+    for i in honest:
+        a_i = assignment[i]
+        for j in range(n):
+            if j in honest and a_i[j] == 0:
+                alarms += 1
+            elif j not in honest and a_i[j] == 1:
+                missed += 1
+    return ErrorCounts(missed_faulty=missed, false_alarms=alarms)
+
+
+def validate_assignment(assignment: Sequence[Prediction], n: int) -> None:
+    """Raise ``ValueError`` unless ``assignment`` is n strings of n bits."""
+    if len(assignment) != n:
+        raise ValueError(f"expected {n} prediction strings, got {len(assignment)}")
+    for i, a_i in enumerate(assignment):
+        if len(a_i) != n:
+            raise ValueError(f"prediction string {i} has length {len(a_i)} != {n}")
+        if any(bit not in (0, 1) for bit in a_i):
+            raise ValueError(f"prediction string {i} contains non-binary entries")
+
+
+def from_suspect_sets(
+    n: int, suspects_by_pid: Sequence[Iterable[int]]
+) -> PredictionAssignment:
+    """Build predictions from per-process suspect lists.
+
+    This mirrors the paper's motivating interface: a security monitor hands
+    each process a list of processes that look malicious, everyone else
+    defaulting to honest.
+    """
+    assignment = []
+    for pid in range(n):
+        suspects = set(suspects_by_pid[pid])
+        assignment.append(tuple(0 if j in suspects else 1 for j in range(n)))
+    return assignment

@@ -1,0 +1,211 @@
+"""Unit tests for the adversary framework: ghosts, mutators, strategies."""
+
+import pytest
+
+from repro.adversary import (
+    CrashAdversary,
+    EchoAdversary,
+    GhostHonestAdversary,
+    GhostRunner,
+    ScriptedAdversary,
+    SilentAdversary,
+    inverted_prediction_mutator,
+)
+from repro.gradecast import graded_consensus
+from repro.net.adversary import AdversaryView, AdversaryWorld
+from repro.net.message import Envelope, tagged
+
+from helpers import assert_agreement, run_sub
+
+TAG = ("gc",)
+
+
+def gc_factory(values):
+    def factory(ctx):
+        return graded_consensus(ctx, TAG, values[ctx.pid])
+
+    return factory
+
+
+def gc_builder(values):
+    return lambda ctx, v: graded_consensus(ctx, TAG, v)
+
+
+class TestGhostRunner:
+    def make_world(self, n=5, faulty=(3, 4), values=None):
+        values = values or [0] * n
+        return AdversaryWorld(
+            n=n,
+            t=1,
+            faulty_ids=frozenset(faulty),
+            scenario={
+                "protocol_factory": gc_factory(values),
+                "protocol_builder": gc_builder(values),
+            },
+        )
+
+    def test_ghosts_produce_honest_traffic(self):
+        world = self.make_world()
+        runner = GhostRunner(world, world.faulty_ids)
+        outgoing = runner.start()
+        # Two ghosts broadcasting to 3 external (honest) recipients each.
+        assert len(outgoing) == 2 * 3
+        assert all(env.sender in world.faulty_ids for env in outgoing)
+        assert all(env.recipient not in world.faulty_ids for env in outgoing)
+
+    def test_internal_routing_between_ghosts(self):
+        world = self.make_world()
+        runner = GhostRunner(world, world.faulty_ids)
+        runner.start()
+        assert len(runner._internal_queue) == 2 * 2  # ghost-to-ghost queued
+        outgoing = runner.step([])
+        # Ghosts got each other's round-1 messages internally; with only 2
+        # votes they cannot lock, so round 2 is silent.
+        assert outgoing == []
+
+    def test_input_overrides_via_builder(self):
+        world = self.make_world()
+        runner = GhostRunner(
+            world, world.faulty_ids, inputs={3: "a", 4: "b"}
+        )
+        outgoing = runner.start()
+        bodies = {env.sender: env.body() for env in outgoing}
+        assert bodies[3] == "a" and bodies[4] == "b"
+
+    def test_requires_some_factory(self):
+        world = AdversaryWorld(n=3, t=1, faulty_ids=frozenset({2}))
+        with pytest.raises(ValueError, match="factory"):
+            GhostRunner(world, {2})
+
+    def test_input_override_requires_builder(self):
+        world = self.make_world()
+        del world.scenario["protocol_builder"]
+        with pytest.raises(ValueError, match="protocol_builder"):
+            GhostRunner(world, world.faulty_ids, inputs={3: 1})
+
+
+class TestCrashAdversary:
+    def run_with(self, adversary, n=6, faulty=(4, 5)):
+        values = [1] * n
+        return run_sub(
+            n, 2, list(faulty), gc_factory(values), adversary=adversary,
+            scenario={"protocol_builder": gc_builder(values)},
+        )
+
+    def test_crash_before_start_equals_silent(self):
+        result = self.run_with(CrashAdversary({4: 1, 5: 1}))
+        assert_agreement(result)
+
+    def test_crash_later_sends_early_rounds(self):
+        seen = []
+
+        class Probe(CrashAdversary):
+            def filter_outgoing(self, outgoing, view):
+                kept = super().filter_outgoing(outgoing, view)
+                seen.append((view.round_no, len(kept)))
+                return kept
+
+        self.run_with(Probe({4: 2, 5: 2}))
+        by_round = dict(seen)
+        assert by_round[1] > 0  # round 1 traffic flows
+        assert by_round[2] == 0  # crashed at round 2
+
+    def test_mid_crash_cutoff_partial_broadcast(self):
+        seen = []
+
+        class Probe(CrashAdversary):
+            def filter_outgoing(self, outgoing, view):
+                kept = super().filter_outgoing(outgoing, view)
+                if view.round_no == 1:
+                    seen.extend(env.recipient for env in kept)
+                return kept
+
+        self.run_with(Probe({4: 1, 5: 1}, mid_crash_cutoff=2))
+        assert seen and all(recipient < 2 for recipient in seen)
+
+
+class TestMutators:
+    def test_inverted_prediction_mutator_only_touches_classify(self):
+        mutator = inverted_prediction_mutator()
+        world = AdversaryWorld(n=4, t=1, faulty_ids=frozenset({3}))
+        classify_env = Envelope(3, 0, tagged(("classify",), (1, 1, 1, 1)))
+        other_env = Envelope(3, 0, tagged(("gc", "r1"), 1))
+        mutated = mutator(classify_env, world, 1)
+        assert mutated.body() == (0, 0, 0, 1)  # faulty claimed honest
+        assert mutator(other_env, world, 1) is other_env
+
+    def test_ghost_honest_with_dropping_mutator(self):
+        def drop_everything(env, world, round_no):
+            return None
+
+        values = [2] * 6
+        result = run_sub(
+            6, 1, [5], gc_factory(values),
+            adversary=GhostHonestAdversary([drop_everything]),
+            scenario={"protocol_builder": gc_builder(values)},
+        )
+        assert_agreement(result)
+
+    def test_mutator_chain_applies_in_order(self):
+        calls = []
+
+        def first(env, world, round_no):
+            calls.append("first")
+            return env
+
+        def second(env, world, round_no):
+            calls.append("second")
+            return None
+
+        def third(env, world, round_no):  # must never run after a drop
+            calls.append("third")
+            return env
+
+        values = [0] * 4
+        run_sub(
+            4, 1, [3], gc_factory(values),
+            adversary=GhostHonestAdversary([first, second, third]),
+            scenario={"protocol_builder": gc_builder(values)},
+        )
+        assert "first" in calls and "second" in calls
+        assert "third" not in calls
+
+
+class TestSimpleStrategies:
+    def test_silent_sends_nothing(self):
+        adversary = SilentAdversary()
+        adversary.bind(AdversaryWorld(n=3, t=1, faulty_ids=frozenset({2})))
+        view = AdversaryView(round_no=1, honest_outgoing=[], inbox_to_faulty=[])
+        assert adversary.step(view) == []
+
+    def test_echo_replays_last_honest_payload(self):
+        adversary = EchoAdversary()
+        adversary.bind(AdversaryWorld(n=3, t=1, faulty_ids=frozenset({2})))
+        env = Envelope(0, 1, tagged(("x",), 9))
+        view = AdversaryView(round_no=1, honest_outgoing=[env], inbox_to_faulty=[])
+        produced = adversary.step(view)
+        assert len(produced) == 3
+        assert all(e.payload == env.payload for e in produced)
+        assert all(e.sender == 2 for e in produced)
+
+    def test_echo_silent_before_any_traffic(self):
+        adversary = EchoAdversary()
+        adversary.bind(AdversaryWorld(n=3, t=1, faulty_ids=frozenset({2})))
+        view = AdversaryView(round_no=1, honest_outgoing=[], inbox_to_faulty=[])
+        assert adversary.step(view) == []
+
+    def test_scripted_gets_view_and_world(self):
+        captured = {}
+
+        def script(view, world):
+            captured["round"] = view.round_no
+            captured["faulty"] = world.faulty_ids
+            return []
+
+        values = [1] * 4
+        run_sub(
+            4, 1, [3], gc_factory(values),
+            adversary=ScriptedAdversary(script),
+        )
+        assert captured["round"] >= 1
+        assert captured["faulty"] == frozenset({3})

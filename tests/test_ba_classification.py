@@ -1,0 +1,239 @@
+"""Tests for the conditional agreement protocols: Algorithm 5
+(unauthenticated) and Algorithm 7 (authenticated committee-based)."""
+
+import pytest
+
+from repro.adversary import (
+    RandomNoiseAdversary,
+    ScriptedAdversary,
+    SilentAdversary,
+    SplitWorldAdversary,
+)
+from repro.core import (
+    ba_with_classification_auth,
+    ba_with_classification_unauth,
+)
+from repro.crypto import KeyStore
+from repro.predictions import correct_prediction
+
+from helpers import assert_agreement, honest_ids, run_sub, split_inputs
+
+TAG = ("cls",)
+
+
+def truth_classification(n, faulty, misclassify_as_honest=()):
+    """Ground-truth classification, optionally lifting some faulty ids to
+    'honest' (shared by every process -- k_A = len(misclassify...))."""
+    honest = set(honest_ids(n, faulty)) | set(misclassify_as_honest)
+    return correct_prediction(n, sorted(honest))
+
+
+class TestUnauthClassificationBA:
+    """Preconditions need (2k+1)(3k+1) <= n - t - k: k=1 -> n >= t + 13."""
+
+    N, T = 16, 3
+
+    def factory(self, values, classification, k=1):
+        def make(ctx):
+            return ba_with_classification_unauth(
+                ctx, TAG, values[ctx.pid], classification, k
+            )
+
+        return make
+
+    def builder(self, classification, k=1):
+        return lambda ctx, v: ba_with_classification_unauth(
+            ctx, TAG, v, classification, k
+        )
+
+    def test_strong_unanimity_perfect_classification(self):
+        n, t = self.N, self.T
+        faulty = [13, 14, 15]
+        c = truth_classification(n, faulty)
+        result = run_sub(n, t, faulty, self.factory(["v"] * n, c))
+        assert assert_agreement(result) == "v"
+
+    def test_agreement_split_inputs(self):
+        n, t = self.N, self.T
+        faulty = [13, 14, 15]
+        c = truth_classification(n, faulty)
+        result = run_sub(n, t, faulty, self.factory(split_inputs(n), c))
+        assert assert_agreement(result) in (0, 1)
+
+    def test_fast_decision_with_perfect_classification(self):
+        """All-honest leaders in phase 1: decide there, return in phase 2."""
+        n, t = self.N, self.T
+        faulty = [13, 14, 15]
+        c = truth_classification(n, faulty)
+        result = run_sub(n, t, faulty, self.factory(split_inputs(n), c))
+        assert result.metrics.rounds_to_last_decision <= 10  # two phases
+
+    def test_round_bound_5_times_2k_plus_1(self):
+        n, t, k = self.N, self.T, 1
+        faulty = [13, 14, 15]
+        c = truth_classification(n, faulty)
+        result = run_sub(
+            n, t, faulty, self.factory(split_inputs(n), c, k),
+            adversary=SplitWorldAdversary(0, 1),
+            scenario={"protocol_builder": self.builder(c, k)},
+        )
+        assert result.rounds <= 5 * (2 * k + 1)
+        assert_agreement(result)
+
+    def test_per_process_message_cap(self):
+        """Each honest process sends at most 5n messages (Theorem 5)."""
+        n, t = self.N, self.T
+        faulty = [13, 14, 15]
+        c = truth_classification(n, faulty)
+        result = run_sub(n, t, faulty, self.factory(split_inputs(n), c))
+        for pid, count in result.metrics.per_process.items():
+            assert count <= 5 * n
+
+    def test_tolerates_one_misclassified_faulty_leader(self):
+        """Faulty id 0 classified honest everywhere (k_A = 1 <= k): it sits
+        in the phase-1 leader block and equivocates, yet agreement holds."""
+        n, t = self.N, self.T
+        faulty = [0, 14, 15]
+        c = truth_classification(n, faulty, misclassify_as_honest=[0])
+        result = run_sub(
+            n, t, faulty, self.factory(split_inputs(n), c),
+            adversary=SplitWorldAdversary(0, 1),
+            scenario={"protocol_builder": self.builder(c)},
+        )
+        assert_agreement(result)
+
+    def test_terminates_when_k_too_small(self):
+        """With more misclassifications than k nothing is guaranteed except
+        termination within 5(2k+1) rounds."""
+        n, t, k = self.N, self.T, 1
+        faulty = [0, 1, 15]
+        c = truth_classification(n, faulty, misclassify_as_honest=[0, 1])
+        result = run_sub(
+            n, t, faulty, self.factory(split_inputs(n), c, k),
+            adversary=SplitWorldAdversary(0, 1),
+            scenario={"protocol_builder": self.builder(c, k)},
+        )
+        assert result.rounds <= 5 * (2 * k + 1)
+        assert len(result.decisions) == n - len(faulty)
+
+    def test_noise_robustness(self):
+        n, t = self.N, self.T
+        faulty = [13, 14, 15]
+        c = truth_classification(n, faulty)
+        result = run_sub(
+            n, t, faulty, self.factory([7] * n, c),
+            adversary=RandomNoiseAdversary(seed=8),
+        )
+        assert assert_agreement(result) == 7
+
+    def test_does_not_require_t_below_n_over_3(self):
+        """Algorithm 5 works beyond t < n/3 when classification is good:
+        n=30, t=12 (> n/3), f=2, k=1 satisfies 12 <= n-t-k = 17."""
+        n, t = 30, 12
+        faulty = [28, 29]
+        c = truth_classification(n, faulty)
+        result = run_sub(n, t, faulty, self.factory(split_inputs(n), c))
+        assert_agreement(result)
+
+
+class TestAuthClassificationBA:
+    """Algorithm 7 needs 2k+1 <= n - t - k and t < n/2."""
+
+    N, T = 8, 3  # t < n/2; k=1: 3 <= 8-3-1 ok
+
+    def setup_ks(self):
+        return KeyStore(self.N, seed=21)
+
+    def factory(self, values, classification, ks, k=1):
+        def make(ctx):
+            return ba_with_classification_auth(
+                ctx, TAG, values[ctx.pid], classification, k, ks
+            )
+
+        return make
+
+    def builder(self, classification, ks, k=1):
+        return lambda ctx, v: ba_with_classification_auth(
+            ctx, TAG, v, classification, k, ks
+        )
+
+    def test_strong_unanimity(self):
+        n, t, ks = self.N, self.T, self.setup_ks()
+        faulty = [6, 7]
+        c = truth_classification(n, faulty)
+        result = run_sub(
+            n, t, faulty, self.factory(["v"] * n, c, ks), keystore=ks
+        )
+        assert assert_agreement(result) == "v"
+
+    def test_agreement_split_inputs(self):
+        n, t, ks = self.N, self.T, self.setup_ks()
+        faulty = [5, 6, 7]
+        c = truth_classification(n, faulty)
+        result = run_sub(
+            n, t, faulty, self.factory(split_inputs(n), c, ks), keystore=ks
+        )
+        assert_agreement(result)
+
+    def test_rounds_exactly_k_plus_3(self):
+        n, t, ks = self.N, self.T, self.setup_ks()
+        faulty = [6, 7]
+        c = truth_classification(n, faulty)
+        for k in (1, 2):
+            if 2 * k + 1 > n - t - k:
+                continue
+            result = run_sub(
+                n, t, faulty, self.factory(split_inputs(n), c, ks, k),
+                keystore=ks,
+            )
+            assert result.rounds == k + 3
+            assert_agreement(result)
+
+    def test_tolerates_misclassified_faulty_committee_member(self):
+        """Faulty id 0 voted into the committee (k_A = 1 <= k): equivocation
+        inside the committee broadcasts cannot break agreement."""
+        n, t, ks = self.N, self.T, self.setup_ks()
+        faulty = [0, 7]
+        c = truth_classification(n, faulty, misclassify_as_honest=[0])
+        result = run_sub(
+            n, t, faulty, self.factory(split_inputs(n), c, ks), keystore=ks,
+            adversary=SplitWorldAdversary(0, 1),
+            scenario={"protocol_builder": self.builder(c, ks)},
+        )
+        assert_agreement(result)
+
+    def test_beyond_n_over_3(self):
+        """t = 3 faulty out of n = 8 (n/3 < t < n/2) with good classification."""
+        n, t, ks = self.N, self.T, self.setup_ks()
+        faulty = [5, 6, 7]
+        c = truth_classification(n, faulty)
+        result = run_sub(
+            n, t, faulty, self.factory(split_inputs(n), c, ks), keystore=ks,
+            adversary=SplitWorldAdversary(0, 1),
+            scenario={"protocol_builder": self.builder(c, ks)},
+        )
+        assert_agreement(result)
+
+    def test_messages_quadratic_cap(self):
+        """Each honest process sends O(n) messages per BB instance and there
+        are |C|+1 active instances: comfortably below 2n(|C|+1)."""
+        n, t, ks = self.N, self.T, self.setup_ks()
+        faulty = [6, 7]
+        c = truth_classification(n, faulty)
+        k = 1
+        result = run_sub(
+            n, t, faulty, self.factory(split_inputs(n), c, ks, k), keystore=ks
+        )
+        cap = 2 * n * (3 * k + 2)
+        for pid, count in result.metrics.per_process.items():
+            assert count <= cap
+
+    def test_noise_robustness(self):
+        n, t, ks = self.N, self.T, self.setup_ks()
+        faulty = [6, 7]
+        c = truth_classification(n, faulty)
+        result = run_sub(
+            n, t, faulty, self.factory([3] * n, c, ks), keystore=ks,
+            adversary=RandomNoiseAdversary(seed=6),
+        )
+        assert assert_agreement(result) == 3

@@ -1,0 +1,203 @@
+"""Tests for the classification vote (Algorithm 2) and its analysis
+(Lemmas 1-6)."""
+
+import random
+
+import pytest
+
+from repro.adversary import PredictionLiarAdversary, ScriptedAdversary
+from repro.classify import (
+    classify,
+    core_set,
+    leader_block,
+    lemma1_bound,
+    misclassification_report,
+    position_in_order,
+    position_spread,
+    priority_order,
+    vote_threshold,
+)
+from repro.net.message import Envelope
+from repro.predictions import (
+    corrupt_concentrated,
+    corrupt_random,
+    generate,
+    perfect_predictions,
+)
+
+from helpers import honest_ids, run_sub
+
+
+def classify_factory(predictions):
+    def factory(ctx):
+        return classify(ctx, ("classify",), predictions[ctx.pid])
+
+    return factory
+
+
+def run_classify(n, t, faulty, predictions, adversary=None, scenario=None):
+    result = run_sub(
+        n, t, faulty, classify_factory(predictions), adversary=adversary,
+        scenario=scenario,
+    )
+    return result.decisions
+
+
+class TestVoteThreshold:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (10, 6)])
+    def test_ceil_half_plus(self, n, expected):
+        assert vote_threshold(n) == expected
+
+
+class TestClassifyProtocol:
+    def test_perfect_predictions_classified_exactly(self):
+        n, faulty = 7, [5, 6]
+        honest = honest_ids(n, faulty)
+        preds = perfect_predictions(n, honest)
+        decisions = run_classify(n, 2, faulty, preds)
+        expected = tuple(1 if j in set(honest) else 0 for j in range(n))
+        assert all(c == expected for c in decisions.values())
+
+    def test_one_round_and_n_messages_each(self):
+        n, faulty = 6, [5]
+        preds = perfect_predictions(n, honest_ids(n, faulty))
+        result = run_sub(n, 1, faulty, classify_factory(preds))
+        assert result.rounds == 1
+        assert result.messages == 5 * 6
+
+    def test_minority_wrong_bits_are_outvoted(self):
+        n, faulty = 9, [8]
+        honest = honest_ids(n, faulty)
+        preds = perfect_predictions(n, honest)
+        # Two honest processes wrongly suspect process 0.
+        for holder in (1, 2):
+            row = list(preds[holder])
+            row[0] = 0
+            preds[holder] = tuple(row)
+        decisions = run_classify(n, 1, faulty, preds)
+        assert all(c[0] == 1 for c in decisions.values())
+
+    def test_malformed_votes_ignored(self):
+        n, faulty = 5, [4]
+        honest = honest_ids(n, faulty)
+        preds = perfect_predictions(n, honest)
+
+        def junk_votes(view, world):
+            if view.round_no != 1:
+                return []
+            payloads = ["junk", (("classify",), (1, 2, 3)), (("classify",), "no"), None]
+            return [
+                Envelope(4, pid, payloads[pid % len(payloads)])
+                for pid in range(n)
+            ]
+
+        decisions = run_classify(
+            n, 1, faulty, preds, adversary=ScriptedAdversary(junk_votes)
+        )
+        expected = tuple(1 if j in set(honest) else 0 for j in range(n))
+        assert all(c == expected for c in decisions.values())
+
+    def test_lying_adversary_cannot_flip_well_supported_process(self):
+        """With f < n/2 - B, faulty votes alone cannot flip any bit."""
+        n, faulty = 9, [7, 8]
+        honest = honest_ids(n, faulty)
+        preds = perfect_predictions(n, honest)
+        decisions = run_classify(
+            n, 2, faulty, preds, adversary=PredictionLiarAdversary(),
+            scenario={"protocol_factory": classify_factory(preds)},
+        )
+        expected = tuple(1 if j in set(honest) else 0 for j in range(n))
+        assert all(c == expected for c in decisions.values())
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("budget", [0, 5, 20, 60])
+    @pytest.mark.parametrize("kind", ["random", "concentrated"])
+    def test_misclassified_at_most_bound(self, budget, kind):
+        n, faulty = 15, [12, 13, 14]
+        t = f = 3
+        honest = honest_ids(n, faulty)
+        preds = generate(kind, n, honest, budget, random.Random(budget))
+        decisions = run_classify(n, t, faulty, preds)
+        report = misclassification_report(decisions, honest)
+        assert report.k_a <= lemma1_bound(n, f, budget)
+
+    def test_lemma1_bound_formula(self):
+        # ceil(n/2) - f = 8 - 3 = 5 for n=15, f=3.
+        assert lemma1_bound(15, 3, 24) == 4
+        assert lemma1_bound(15, 3, 4) == 0
+
+    def test_lemma1_requires_f_below_half(self):
+        with pytest.raises(ValueError):
+            lemma1_bound(10, 5, 3)
+
+
+class TestPriorityOrdering:
+    def test_order_honest_first_then_faulty(self):
+        c = (1, 0, 1, 1, 0)
+        assert priority_order(c) == (0, 2, 3, 1, 4)
+
+    def test_position_matches_order(self):
+        c = (0, 1, 1, 0, 1, 0)
+        order = priority_order(c)
+        for pid in range(len(c)):
+            assert order[position_in_order(c, pid)] == pid
+
+    def test_all_honest_is_identity(self):
+        c = (1, 1, 1, 1)
+        assert priority_order(c) == (0, 1, 2, 3)
+
+    def test_leader_block_partition(self):
+        order = tuple(range(12))
+        assert leader_block(order, 1, 4) == [0, 1, 2, 3]
+        assert leader_block(order, 2, 4) == [4, 5, 6, 7]
+        assert leader_block(order, 3, 4) == [8, 9, 10, 11]
+
+    def test_leader_block_truncates_gracefully(self):
+        assert leader_block((0, 1, 2), 2, 2) == [2]
+
+
+class TestOrderingLemmas:
+    def _classifications(self, n, t, faulty, budget, seed):
+        honest = honest_ids(n, faulty)
+        preds = corrupt_concentrated(n, honest, budget, random.Random(seed))
+        return run_classify(n, t, faulty, preds), honest
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lemma2_position_spread_bounded(self, seed):
+        """Properly classified processes shift by at most k_A positions."""
+        n, faulty = 15, [12, 13, 14]
+        decisions, honest = self._classifications(n, 3, faulty, 20, seed)
+        report = misclassification_report(decisions, honest)
+        everywhere_correct = [
+            pid
+            for pid in range(n)
+            if pid not in report.misclassified_honest
+            and pid not in report.misclassified_faulty
+        ]
+        for pid in everywhere_correct:
+            assert position_spread(decisions, honest, pid) <= report.k_a
+
+    @pytest.mark.parametrize("budget", [0, 10, 25])
+    def test_lemma5_core_set_exists(self, budget):
+        """Any window [l, r] with r <= n - t - k_A contains >= size - k_A
+        common honest ids across all honest orderings."""
+        n, t, faulty = 15, 3, [12, 13, 14]
+        decisions, honest = self._classifications(n, t, faulty, budget, 1)
+        report = misclassification_report(decisions, honest)
+        k_a = report.k_a
+        window = 2 * k_a + 1 if k_a else 3
+        right = n - t - k_a - 1  # 0-indexed inclusive
+        left = right - window + 1
+        if left < 0 or left + k_a - 1 >= right:
+            pytest.skip("window infeasible for this k_A")
+        core = core_set(decisions, honest, left, right)
+        assert len(core) >= window - k_a
+
+    def test_perfect_core_is_whole_window(self):
+        n, t, faulty = 10, 2, [8, 9]
+        honest = honest_ids(n, faulty)
+        preds = perfect_predictions(n, honest)
+        decisions = run_classify(n, t, faulty, preds)
+        core = core_set(decisions, honest, 0, 5)
+        assert core == set(range(6))

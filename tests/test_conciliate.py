@@ -1,0 +1,136 @@
+"""Tests for conciliation with a core set (Algorithm 4, Lemmas 13-14)."""
+
+import pytest
+
+from repro.adversary import RandomNoiseAdversary, ScriptedAdversary
+from repro.conciliate import conciliate
+from repro.net.message import Envelope, tagged
+
+from helpers import assert_agreement, run_sub
+
+TAG = ("conc",)
+
+
+def conc_factory(values, k, listen):
+    def factory(ctx):
+        return conciliate(ctx, TAG, values[ctx.pid], k, listen[ctx.pid])
+
+    return factory
+
+
+class TestUnderConditions:
+    """All honest L_i are honest-only, size 3k+1, common core >= 2k+1."""
+
+    def setup_case(self, n=12, t=2, k=1):
+        faulty = list(range(n - t, n))
+        listen = {pid: list(range(3 * k + 1)) for pid in range(n)}
+        return n, t, k, faulty, listen
+
+    def test_agreement_on_split_inputs(self):
+        n, t, k, faulty, listen = self.setup_case()
+        values = [pid % 3 for pid in range(n)]
+        result = run_sub(n, t, faulty, conc_factory(values, k, listen))
+        assert_agreement(result)
+
+    def test_strong_unanimity(self):
+        n, t, k, faulty, listen = self.setup_case()
+        values = ["agreed"] * n
+        result = run_sub(n, t, faulty, conc_factory(values, k, listen))
+        assert assert_agreement(result) == "agreed"
+
+    def test_one_round_only_listeners_speak(self):
+        n, t, k, faulty, listen = self.setup_case()
+        values = [0] * n
+        result = run_sub(n, t, faulty, conc_factory(values, k, listen))
+        assert result.rounds == 1
+        speakers = set(range(3 * k + 1))
+        for pid, count in result.metrics.per_process.items():
+            assert (count > 0) == (pid in speakers)
+
+    def test_agreement_with_diverging_listen_sets(self):
+        """Core of 2k+1 common honest ids, one differing extra member."""
+        n, t, k = 13, 2, 1
+        faulty = [11, 12]
+        core = [0, 1, 2]
+        listen = {pid: core + [3 + (pid % 4)] for pid in range(n)}
+        values = [pid % 2 for pid in range(n)]
+        result = run_sub(n, t, faulty, conc_factory(values, k, listen))
+        assert_agreement(result)
+
+    def test_outside_noise_ignored(self):
+        n, t, k, faulty, listen = self.setup_case()
+        values = [1] * n
+        result = run_sub(
+            n, t, faulty, conc_factory(values, k, listen),
+            adversary=RandomNoiseAdversary(seed=4),
+        )
+        assert assert_agreement(result) == 1
+
+
+class TestWithoutConditions:
+    def test_terminates_with_faulty_leaders(self):
+        """Faulty ids inside the listen sets: no agreement guarantee, but
+        every honest process must return after the single round."""
+        n, t, k = 12, 3, 1
+        faulty = [0, 10, 11]  # 0 sits inside every L_i
+        listen = {pid: [0, 1, 2, 3] for pid in range(n)}
+        values = [pid % 2 for pid in range(n)]
+
+        def equivocate(view, world):
+            return [
+                Envelope(0, pid, tagged(TAG, (pid % 2, (0, 1, 2, 3))))
+                for pid in range(n)
+            ]
+
+        result = run_sub(
+            n, t, faulty, conc_factory(values, k, listen),
+            adversary=ScriptedAdversary(equivocate),
+        )
+        assert result.rounds == 1
+        assert len(result.decisions) == n - 3
+
+    def test_malformed_listen_sets_ignored(self):
+        n, t, k = 10, 1, 1
+        faulty = [3]
+        listen = {pid: [0, 1, 2, 3] for pid in range(n)}
+        values = [7] * n
+
+        def malformed(view, world):
+            payloads = [
+                (7, "not-a-set"),
+                (7, (0, 99)),       # out-of-range id
+                "garbage",
+                (7,),
+            ]
+            return [
+                Envelope(3, pid, tagged(TAG, payloads[pid % 4]))
+                for pid in range(n)
+            ]
+
+        result = run_sub(
+            n, t, faulty, conc_factory(values, k, listen),
+            adversary=ScriptedAdversary(malformed),
+        )
+        assert assert_agreement(result) == 7
+
+
+class TestLeaderGraphSemantics:
+    def test_min_propagates_along_paths(self):
+        """A broadcaster's low value reaches every m[z] it has a path to."""
+        n, t, k = 8, 0, 1
+        # Chain: 0 in L_1, 1 in L_2, ... ; all listen sets also include 0-3.
+        listen = {pid: [0, 1, 2, 3] for pid in range(n)}
+        values = [5, 9, 9, 9] + [9] * (n - 4)
+        result = run_sub(n, t, [], conc_factory(values, k, listen))
+        # 0 broadcasts 5; everyone's m-values all become 5.
+        assert assert_agreement(result) == 5
+
+    def test_silent_component_does_not_block(self):
+        """A listener id that never broadcasts (not in its own L) is simply
+        absent from the graph."""
+        n, t, k = 8, 0, 1
+        listen = {pid: [0, 1, 2, 7] for pid in range(n)}
+        listen[7] = [0, 1, 2, 3]  # 7 not in its own listen set -> silent
+        values = [2] * n
+        result = run_sub(n, t, [], conc_factory(values, k, listen))
+        assert assert_agreement(result) == 2

@@ -1,0 +1,136 @@
+"""Tests for the early-stopping phase-king substrate (O(f) rounds)."""
+
+import pytest
+
+from repro.adversary import (
+    CrashAdversary,
+    RandomNoiseAdversary,
+    ScriptedAdversary,
+    SilentAdversary,
+    SplitWorldAdversary,
+)
+from repro.earlystop import ba_early_stopping
+from repro.net.message import Envelope, tagged
+
+from helpers import assert_agreement, run_sub, split_inputs
+
+TAG = ("es",)
+
+
+def es_factory(values):
+    def factory(ctx):
+        return ba_early_stopping(ctx, TAG, values[ctx.pid])
+
+    return factory
+
+
+def es_builder(ctx, value):
+    return ba_early_stopping(ctx, TAG, value)
+
+
+class TestCorrectness:
+    def test_validity_unanimous(self):
+        n = 7
+        result = run_sub(n, 2, [5, 6], es_factory(["v"] * n))
+        assert assert_agreement(result) == "v"
+
+    def test_agreement_split_inputs_no_faults(self):
+        n = 7
+        result = run_sub(n, 2, [], es_factory(split_inputs(n)))
+        value = assert_agreement(result)
+        assert value in (0, 1)
+
+    def test_agreement_under_split_world(self):
+        n = 10
+        result = run_sub(
+            n, 3, [7, 8, 9], es_factory(split_inputs(n)),
+            adversary=SplitWorldAdversary(0, 1),
+            scenario={"protocol_builder": es_builder},
+        )
+        assert_agreement(result)
+
+    def test_agreement_under_noise(self):
+        n = 7
+        result = run_sub(
+            n, 2, [5, 6], es_factory(split_inputs(n)),
+            adversary=RandomNoiseAdversary(seed=2),
+        )
+        assert_agreement(result)
+
+    def test_agreement_under_crash_mid_broadcast(self):
+        n = 7
+        result = run_sub(
+            n, 2, [5, 6], es_factory(split_inputs(n)),
+            adversary=CrashAdversary({5: 2, 6: 4}, mid_crash_cutoff=3),
+            scenario={"protocol_builder": es_builder},
+        )
+        assert_agreement(result)
+
+    def test_validity_with_byzantine_pressure(self):
+        """All honest share v; equivocating faults cannot change it."""
+        n = 10
+        values = [1] * n
+
+        def flood(view, world):
+            out = []
+            for pid in sorted(world.faulty_ids):
+                for j in range(n):
+                    out.append(Envelope(pid, j, tagged(TAG + (1, "gca", "r1"), 0)))
+                    out.append(Envelope(pid, j, tagged(TAG + (1, "gcb", "r1"), 0)))
+            return out
+
+        result = run_sub(
+            n, 3, [7, 8, 9], es_factory(values),
+            adversary=ScriptedAdversary(flood),
+        )
+        assert assert_agreement(result) == 1
+
+
+class TestEarlyStopping:
+    @pytest.mark.parametrize("f", [0, 1, 2, 3])
+    def test_rounds_grow_with_f(self, f):
+        """Round count tracks O(f), not O(t): with t fixed and large,
+        fewer actual faults terminate sooner."""
+        n, t = 13, 4
+        faulty = list(range(n - f, n))
+        result = run_sub(n, t, faulty, es_factory(split_inputs(n)))
+        rounds = result.metrics.rounds_to_last_decision
+        # 5 rounds/phase; honest king within f+1 phases; decide <= f+2;
+        # return <= f+3 phases.
+        assert rounds <= 5 * (f + 3)
+
+    def test_unanimous_fast_path(self):
+        """Unanimity decides in phase 1 and returns in phase 2."""
+        n, t = 13, 4
+        result = run_sub(n, t, [], es_factory([3] * n))
+        assert result.metrics.rounds_to_last_decision <= 10
+
+    def test_silent_faults_do_not_slow_beyond_f(self):
+        n, t, f = 10, 3, 3
+        result = run_sub(
+            n, t, list(range(n - f, n)), es_factory(split_inputs(n)),
+            adversary=SilentAdversary(),
+        )
+        assert result.metrics.rounds_to_last_decision <= 5 * (f + 3)
+
+    def test_faulty_king_cannot_stall_forever(self):
+        """A faulty king equivocating in its king round delays at most its
+        own phases."""
+        n, t = 10, 3
+        faulty = [0, 1, 2]  # the first three kings are faulty
+
+        def lying_kings(view, world):
+            out = []
+            for phase, king in ((1, 0), (2, 1), (3, 2)):
+                king_tag = TAG + (phase, "king")
+                for j in range(n):
+                    out.append(Envelope(king, j, tagged(king_tag, j % 2)))
+            return out
+
+        result = run_sub(
+            n, t, faulty, es_factory(split_inputs(n)),
+            adversary=ScriptedAdversary(lying_kings),
+        )
+        assert_agreement(result)
+        # Phase 4 has the first honest king; decide <=5, return <=6 phases.
+        assert result.metrics.rounds_to_last_decision <= 5 * 6

@@ -1,0 +1,113 @@
+"""Edge-case coverage: degenerate sizes, exotic value types, boundary
+parameters."""
+
+import pytest
+
+import repro
+from repro.classify import classify, priority_order, vote_threshold
+from repro.core.api import run_protocol
+from repro.core.wrapper import num_phases, total_round_bound
+from repro.earlystop import ba_early_stopping
+from repro.gradecast import graded_consensus
+from repro.predictions import perfect_predictions
+
+
+class TestDegenerateSizes:
+    def test_single_process(self):
+        report = repro.solve(1, 0, ["only"])
+        assert report.agreed
+        assert report.decision == "only"
+
+    def test_two_processes_no_faults(self):
+        report = repro.solve(2, 0, ["a", "a"])
+        assert report.decision == "a"
+
+    def test_four_processes_one_fault(self):
+        report = repro.solve(4, 1, [1, 1, 1, 1], faulty_ids=[3])
+        assert report.decision == 1
+
+    def test_t_zero_with_split_inputs(self):
+        report = repro.solve(3, 0, [0, 1, 0])
+        assert report.agreed
+
+    def test_minimum_unauth_resilience_boundary(self):
+        # n = 3t + 1 is the boundary for t < n/3.
+        report = repro.solve(7, 2, [0, 1, 0, 1, 0, 1, 0], faulty_ids=[5, 6])
+        assert report.agreed
+
+
+class TestValueTypes:
+    @pytest.mark.parametrize(
+        "value",
+        ["string", 42, -7, (1, 2, "tuple"), None, True, b"bytes"],
+    )
+    def test_unanimous_arbitrary_values(self, value):
+        report = repro.solve(5, 1, [value] * 5, faulty_ids=[4])
+        assert report.agreed
+        assert report.decision == value
+
+    def test_mixed_types_still_agree(self):
+        inputs = ["a", 1, (2,), None, "a"]
+        report = repro.solve(5, 1, inputs, faulty_ids=[])
+        assert report.agreed
+
+    def test_auth_mode_with_tuple_values(self):
+        report = repro.solve(
+            7, 2, [("block", 7)] * 7, faulty_ids=[6], mode="authenticated"
+        )
+        assert report.decision == ("block", 7)
+
+
+class TestBoundaryParameters:
+    def test_num_phases_t_zero_and_one(self):
+        assert num_phases(0) == 1
+        assert num_phases(1) == 1
+
+    def test_total_round_bound_positive_small_t(self):
+        for t in range(0, 5):
+            for mode in ("unauthenticated", "authenticated"):
+                assert total_round_bound(t, mode) > 0
+
+    def test_vote_threshold_n1(self):
+        assert vote_threshold(1) == 1
+
+    def test_priority_order_empty(self):
+        assert priority_order(()) == ()
+
+    def test_classify_n1(self):
+        def factory(ctx):
+            return classify(ctx, ("c",), (1,))
+
+        result = run_protocol(1, 0, [], factory)
+        assert result.decisions[0] == (1,)
+
+    def test_early_stopping_n1(self):
+        def factory(ctx):
+            return ba_early_stopping(ctx, ("e",), "v")
+
+        result = run_protocol(1, 0, [], factory)
+        assert result.decisions[0] == "v"
+
+    def test_gc_all_faulty_peers(self):
+        """A single honest process among faulty ones still terminates
+        (grades are meaningless but termination must hold)."""
+        def factory(ctx):
+            return graded_consensus(ctx, ("g",), "x")
+
+        result = run_protocol(4, 1, [1, 2, 3], factory, max_rounds=100)
+        assert 0 in result.decisions
+
+    def test_solve_max_rounds_override(self):
+        report = repro.solve(4, 1, [0] * 4, max_rounds=5000)
+        assert report.agreed
+
+    def test_arms_validation(self):
+        with pytest.raises(ValueError, match="arms"):
+            repro.solve(4, 1, [0] * 4, arms=())
+        with pytest.raises(ValueError, match="arms"):
+            repro.solve(4, 1, [0] * 4, arms=("bogus",))
+
+    def test_single_arm_configurations_work(self):
+        for arms in (("early",), ("class",)):
+            report = repro.solve(7, 2, [3] * 7, faulty_ids=[6], arms=arms)
+            assert report.decision == 3

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs to completion and prints its
+expected headline."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "agreed    : True" in out
+    assert "with perfect predictions" in out
+
+
+def test_security_monitor(capsys):
+    out = run_example("security_monitor.py", capsys)
+    assert "Decision latency vs monitor quality" in out
+    assert "Agreement held in every row" in out
+
+
+def test_blockchain_committee(capsys):
+    out = run_example("blockchain_committee.py", capsys)
+    assert "Block finality" in out
+    assert "authenticated" in out and "unauthenticated" in out
+
+
+def test_adversarial_predictions(capsys):
+    out = run_example("adversarial_predictions.py", capsys)
+    assert "Safety under poisoned predictions" in out
+    assert "Every execution agreed" in out

@@ -1,0 +1,132 @@
+"""Tests for the experiment harness: sweeps, tables, CLI."""
+
+import pytest
+
+from repro.experiments import (
+    default_inputs,
+    format_markdown,
+    format_table,
+    make_adversary,
+    run_once,
+    sweep_budget,
+    sweep_faults,
+    sweep_scale,
+)
+from repro.experiments.cli import build_parser, main
+
+
+class TestTables:
+    ROWS = [
+        {"a": 1, "b": "x", "c": 2.5},
+        {"a": 22, "b": "yy", "c": 0.123},
+    ]
+
+    def test_format_table_aligns(self):
+        text = format_table(self.ROWS, ["a", "b", "c"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header/body aligned
+
+    def test_format_table_handles_missing_keys(self):
+        text = format_table([{"a": 1}], ["a", "zz"])
+        assert "zz" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table([], ["a", "b"])
+        assert "a" in text
+
+    def test_float_rendering(self):
+        text = format_table(self.ROWS, ["c"])
+        assert "2.50" in text and "0.12" in text
+
+    def test_markdown_shape(self):
+        text = format_markdown(self.ROWS, ["a", "b"])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | x |"
+
+
+class TestSweeps:
+    def test_default_inputs_patterns(self):
+        assert default_inputs(4, "zeros") == [0, 0, 0, 0]
+        assert default_inputs(4, "ones") == [1, 1, 1, 1]
+        assert default_inputs(4, "alternating") == [0, 1, 0, 1]
+        assert default_inputs(5) == [0, 0, 1, 1, 1]
+
+    def test_make_adversary(self):
+        from repro.adversary import SilentAdversary, SplitWorldAdversary
+
+        assert isinstance(make_adversary("silent"), SilentAdversary)
+        assert isinstance(make_adversary("split"), SplitWorldAdversary)
+        with pytest.raises(ValueError):
+            make_adversary("bogus")
+
+    def test_run_once_row_shape(self):
+        row = run_once(8, 2, 2, 5, seed=1)
+        assert row["agreed"]
+        assert row["n"] == 8 and row["f"] == 2 and row["B"] == 5
+        assert row["rounds"] > 0 and row["messages"] > 0
+        assert row["lb_rounds"] >= 1
+
+    def test_sweep_budget_rows(self):
+        rows = sweep_budget(8, 2, 1, [0, 4])
+        assert [r["B"] for r in rows] == [0, 4]
+        assert all(r["agreed"] for r in rows)
+
+    def test_sweep_faults_rows(self):
+        rows = sweep_faults(8, 2, [0, 2])
+        assert [r["f"] for r in rows] == [0, 2]
+        assert all(r["agreed"] for r in rows)
+
+    def test_sweep_scale_rows(self):
+        rows = sweep_scale([7, 10], budget_per_n=0.5)
+        assert [r["n"] for r in rows] == [7, 10]
+        assert all(r["agreed"] for r in rows)
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["solve", "--n", "7", "--t", "2", "--f", "1", "--budget", "3"]
+        )
+        assert args.command == "solve"
+        assert args.n == 7 and args.budget == 3
+
+    def test_solve_command_runs(self, capsys):
+        code = main(["solve", "--n", "7", "--t", "2", "--f", "2", "--budget", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out and "True" in out
+
+    def test_sweep_budget_command(self, capsys):
+        code = main(
+            ["sweep-budget", "--n", "7", "--t", "2", "--f", "1",
+             "--budgets", "0,3"]
+        )
+        assert code == 0
+        assert "sweep over B" in capsys.readouterr().out
+
+    def test_sweep_faults_command(self, capsys):
+        code = main(
+            ["sweep-faults", "--n", "7", "--t", "2", "--faults", "0,2"]
+        )
+        assert code == 0
+        assert "sweep over f" in capsys.readouterr().out
+
+    def test_bound_command(self, capsys):
+        code = main(["bound", "--n", "10", "--t", "3", "--f", "2", "--budget", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Thm 13" in out and "Thm 14" in out
+
+    def test_split_adversary_option(self, capsys):
+        code = main(
+            ["solve", "--n", "7", "--t", "2", "--f", "2",
+             "--budget", "0", "--adversary", "split"]
+        )
+        assert code == 0

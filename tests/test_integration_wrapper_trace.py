@@ -1,0 +1,115 @@
+"""Integration: the wrapper's round schedule matches its published budgets.
+
+Algorithm 1's correctness depends on every honest process spending exactly
+the same number of rounds in each sub-protocol.  These tests trace full
+executions and verify the composition against the budget arithmetic in
+:mod:`repro.core.wrapper` -- the strongest whole-system consistency check
+we can make without trusting the implementation being tested.
+"""
+
+from repro.core.api import run_protocol
+from repro.core.wrapper import (
+    ba_with_predictions,
+    classification_budget,
+    early_stopping_budget,
+    num_phases,
+    phase_rounds,
+    total_round_bound,
+)
+from repro.net import Tracer
+from repro.predictions import perfect_predictions
+
+
+def run_traced(n, t, faulty, inputs, mode="unauthenticated", keystore=None):
+    predictions = perfect_predictions(
+        n, [pid for pid in range(n) if pid not in set(faulty)]
+    )
+    tracer = Tracer()
+
+    def factory(ctx):
+        return ba_with_predictions(
+            ctx, inputs[ctx.pid], predictions[ctx.pid], mode=mode,
+            keystore=keystore,
+        )
+
+    result = run_protocol(
+        n, t, faulty, factory, keystore=keystore, observer=tracer
+    )
+    return tracer, result
+
+
+class TestScheduleConsistency:
+    def test_classify_occupies_exactly_round_one(self):
+        tracer, _ = run_traced(7, 2, [], [0, 1] * 3 + [0])
+        assert "classify" in tracer.rounds[0].components
+        for record in tracer.rounds[1:]:
+            assert "classify" not in record.components
+
+    def test_phase1_component_windows(self):
+        """Components appear exactly inside their budget windows."""
+        n, t = 7, 2
+        tracer, _ = run_traced(n, t, [], [0, 1] * 3 + [0])
+        k = 1
+        gc_rounds = 2
+        early = early_stopping_budget(k, t)
+        # Window boundaries for phase 1 (after the classify round).
+        early_window = range(2 + gc_rounds, 2 + gc_rounds + early)
+        by_round = {record.round_no: record.components for record in tracer.rounds}
+        # gc1's first round always broadcasts; its position is fixed.
+        assert any("gc1" in c for c in by_round.get(2, {}))
+        observed_early = [
+            round_no
+            for round_no, components in by_round.items()
+            if any(":early:" in c for c in components) and round_no <= 1 + phase_rounds(1, t, "unauthenticated")
+        ]
+        assert observed_early
+        assert min(observed_early) == early_window.start
+        assert max(observed_early) <= early_window.stop - 1
+
+    def test_all_honest_finish_same_round_when_undisturbed(self):
+        """With no faults and split inputs, decisions land simultaneously
+        (lock-step alignment survives the whole composition)."""
+        tracer, result = run_traced(7, 2, [], [0, 1] * 3 + [0])
+        decision_rounds = set(tracer.decision_rounds().values())
+        assert len(decision_rounds) == 1
+
+    def test_rounds_bounded_by_phase_arithmetic(self):
+        n, t = 10, 3
+        tracer, result = run_traced(n, t, [8, 9], [pid % 2 for pid in range(n)])
+        assert result.rounds <= total_round_bound(t, "unauthenticated")
+        # Decided within the first two phases here (f = 2 <= 2^1).
+        two_phases = 1 + phase_rounds(1, t, "unauthenticated") + phase_rounds(
+            2, t, "unauthenticated"
+        )
+        assert result.rounds <= two_phases
+
+    def test_phase_count_never_exceeds_num_phases(self):
+        n, t = 10, 3
+        tracer, _ = run_traced(n, t, [7, 8, 9], [pid % 2 for pid in range(n)])
+        gc1_phases = set()
+        for record in tracer.rounds:
+            for component in record.components:
+                # Phase-resolved components look like "ba:<phase>:gc1:r1".
+                if component.startswith("ba:") and ":gc1:" in component:
+                    gc1_phases.add(component.split(":")[1])
+        assert 0 < len(gc1_phases) <= num_phases(t)
+
+    def test_message_totals_match_component_sums(self):
+        tracer, result = run_traced(7, 2, [6], [0, 1] * 3 + [0])
+        by_component = result.metrics.per_component
+        assert sum(by_component.values()) == result.messages
+        assert tracer.total_honest_messages == result.messages
+
+    def test_classification_budget_window_unauth(self):
+        """The Algorithm 5 arm never exceeds its 5(2k+1) budget."""
+        n, t = 7, 2
+        tracer, _ = run_traced(n, t, [5, 6], [pid % 2 for pid in range(n)])
+        class_rounds_phase1 = [
+            record.round_no
+            for record in tracer.rounds
+            if any(":class:" in c for c in record.components)
+            and record.round_no <= 1 + phase_rounds(1, t, "unauthenticated")
+        ]
+        if class_rounds_phase1:
+            window = max(class_rounds_phase1) - min(class_rounds_phase1) + 1
+            assert window <= classification_budget(1, "unauthenticated")

@@ -1,0 +1,53 @@
+"""Tests for the Monte-Carlo trial runner."""
+
+import random
+
+import pytest
+
+from repro.experiments.montecarlo import (
+    ADVERSARIES,
+    TrialStats,
+    run_single_trial,
+    run_trials,
+)
+
+
+class TestSingleTrial:
+    def test_row_shape(self):
+        row = run_single_trial(7, 2, random.Random(1))
+        assert set(row) >= {"agreed", "valid", "rounds", "messages", "f", "B"}
+        assert row["agreed"] is True
+        assert 0 <= row["f"] <= 2
+
+    def test_deterministic_given_seed(self):
+        a = run_single_trial(7, 2, random.Random(9))
+        b = run_single_trial(7, 2, random.Random(9))
+        assert a == b
+
+    @pytest.mark.parametrize("kind", sorted(ADVERSARIES))
+    def test_each_adversary_family(self, kind):
+        row = run_single_trial(7, 2, random.Random(3), adversary_kind=kind)
+        assert row["agreed"]
+        assert row["adversary"] == kind
+
+
+class TestAggregation:
+    def test_stats_fields(self):
+        stats = run_trials(7, 2, trials=5, seed=4)
+        assert isinstance(stats, TrialStats)
+        assert stats.trials == 5
+        assert stats.agreement_rate == 1.0
+        assert stats.validity_violations == 0
+        assert stats.rounds_max >= stats.rounds_mean > 0
+        assert stats.perfect_safety()
+
+    def test_auth_mode_trials(self):
+        stats = run_trials(7, 2, trials=3, seed=4, mode="authenticated")
+        assert stats.perfect_safety()
+
+    def test_budget_cap_respected(self):
+        rows = [
+            run_single_trial(7, 2, random.Random(seed), max_budget=2)
+            for seed in range(6)
+        ]
+        assert all(r["B"] <= 2 for r in rows)

@@ -1,0 +1,130 @@
+"""Unit tests for prediction representation, accounting, and generators."""
+
+import random
+
+import pytest
+
+from repro.predictions import (
+    corrupt_concentrated,
+    corrupt_random,
+    corrupt_single_holder,
+    correct_prediction,
+    count_errors,
+    from_suspect_sets,
+    generate,
+    misclassification_cost,
+    perfect_predictions,
+    validate_assignment,
+)
+
+
+class TestModel:
+    def test_correct_prediction_vector(self):
+        assert correct_prediction(5, [0, 2, 4]) == (1, 0, 1, 0, 1)
+
+    def test_count_errors_perfect_is_zero(self):
+        honest = [0, 1, 2, 3]
+        preds = perfect_predictions(6, honest)
+        errors = count_errors(preds, honest)
+        assert errors.total == 0
+        assert errors.missed_faulty == 0
+        assert errors.false_alarms == 0
+
+    def test_count_errors_categories(self):
+        honest = [0, 1, 2]
+        preds = perfect_predictions(5, honest)
+        row = list(preds[0])
+        row[1] = 0  # false alarm about honest 1
+        row[4] = 1  # missed faulty 4
+        preds[0] = tuple(row)
+        errors = count_errors(preds, honest)
+        assert errors.false_alarms == 1
+        assert errors.missed_faulty == 1
+        assert errors.total == 2
+
+    def test_faulty_held_bits_not_counted(self):
+        honest = [0, 1, 2]
+        preds = perfect_predictions(5, honest)
+        preds[4] = tuple(0 for _ in range(5))  # garbage held by faulty 4
+        assert count_errors(preds, honest).total == 0
+
+    def test_validate_assignment_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="expected"):
+            validate_assignment([(0, 1)], 3)
+        with pytest.raises(ValueError, match="length"):
+            validate_assignment([(0, 1)] * 3, 3)
+        with pytest.raises(ValueError, match="non-binary"):
+            validate_assignment([(0, 2, 1)] * 3, 3)
+
+    def test_from_suspect_sets(self):
+        preds = from_suspect_sets(4, [[3], [], [0, 1], [3]])
+        assert preds[0] == (1, 1, 1, 0)
+        assert preds[1] == (1, 1, 1, 1)
+        assert preds[2] == (0, 0, 1, 1)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("kind", ["random", "concentrated", "single_holder"])
+    @pytest.mark.parametrize("budget", [0, 1, 7, 40])
+    def test_budget_exact(self, kind, budget):
+        n, honest = 10, list(range(7))
+        preds = generate(kind, n, honest, budget, random.Random(3))
+        assert count_errors(preds, honest).total == budget
+
+    @pytest.mark.parametrize(
+        "generator", [corrupt_random, corrupt_concentrated, corrupt_single_holder]
+    )
+    def test_budget_over_capacity_raises(self, generator):
+        with pytest.raises(ValueError, match="capacity"):
+            generator(4, [0, 1], 100, random.Random(0))
+
+    def test_generate_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown generator"):
+            generate("bogus", 4, [0, 1], 1, random.Random(0))
+
+    def test_deterministic_given_seed(self):
+        a = corrupt_random(8, range(6), 11, random.Random(5))
+        b = corrupt_random(8, range(6), 11, random.Random(5))
+        assert a == b
+
+    def test_single_holder_concentrates(self):
+        n, honest = 8, list(range(6))
+        preds = corrupt_single_holder(n, honest, 8, random.Random(1))
+        truth = correct_prediction(n, honest)
+        holders_touched = [
+            i for i in honest if preds[i] != truth
+        ]
+        assert len(holders_touched) == 1  # 8 flips fit in one n=8 string
+
+    def test_concentrated_targets_cheapest_victims(self):
+        """With enough budget for one victim, concentrated corruption spends
+        the per-victim cost derived from Observations 1-2."""
+        n, f = 11, 3
+        honest = list(range(n - f))
+        cost = misclassification_cost(n, f, subject_is_honest=False)
+        preds = corrupt_concentrated(n, honest, cost, random.Random(2))
+        errors = count_errors(preds, honest)
+        assert errors.total == cost
+        # All flips target a single victim process.
+        assert errors.missed_faulty == cost or errors.false_alarms == cost
+        truth = correct_prediction(n, honest)
+        touched = {
+            j
+            for i in honest
+            for j in range(n)
+            if preds[i][j] != truth[j]
+        }
+        assert len(touched) == 1
+
+
+class TestMisclassificationCost:
+    def test_faulty_victim_cost(self):
+        # n=11: majority ceil(12/2)=6; faulty victim needs 6 - f honest lies.
+        assert misclassification_cost(11, 3, subject_is_honest=False) == 3
+
+    def test_honest_victim_cost(self):
+        # n=11, f=3: honest support 8; need below 6 => 3 flips.
+        assert misclassification_cost(11, 3, subject_is_honest=True) == 3
+
+    def test_cost_never_negative(self):
+        assert misclassification_cost(5, 4, subject_is_honest=False) == 0

@@ -1,0 +1,56 @@
+"""Tests for the EXPERIMENTS.md report regenerator."""
+
+import pytest
+
+from repro.experiments.report import (
+    generate_report,
+    hiding_assignment,
+    t11_rows,
+    t13_rows,
+    t14_rows,
+)
+from repro.predictions import count_errors
+
+
+class TestHidingAssignment:
+    def test_budget_is_nhonest_times_hide(self):
+        n, faulty = 10, [0, 1, 2]
+        honest = [pid for pid in range(n) if pid not in set(faulty)]
+        assignment = hiding_assignment(n, faulty, 2)
+        assert count_errors(assignment, honest).total == 7 * 2
+
+    def test_zero_hide_is_perfect(self):
+        n, faulty = 8, [0]
+        honest = [pid for pid in range(n) if pid != 0]
+        assignment = hiding_assignment(n, faulty, 0)
+        assert count_errors(assignment, honest).total == 0
+
+
+class TestRowGenerators:
+    def test_t11_rows_agree_and_monotone_b(self):
+        rows = t11_rows(13, 4, 4, [0, 4])
+        assert all(r["agreed"] for r in rows)
+        assert rows[0]["B"] < rows[1]["B"]
+        assert rows[0]["rounds"] <= rows[1]["rounds"]
+
+    def test_t13_rows_respect_bound(self):
+        rows = t13_rows(13, 4, [1, 4])
+        assert all(r["measured"] >= r["lb"] for r in rows)
+
+    def test_t14_rows_respect_bound(self):
+        rows = t14_rows([7, 10])
+        assert all(r["measured"] >= r["lb"] for r in rows)
+
+
+class TestGenerateReport:
+    def test_small_scale_contains_all_sections(self):
+        text = generate_report("small")
+        assert "T11" in text and "T13" in text and "T14" in text
+
+    def test_markdown_mode(self):
+        text = generate_report("small", markdown=True)
+        assert "| hidden | B |" in text
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            generate_report("galactic")
