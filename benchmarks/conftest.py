@@ -15,6 +15,19 @@ from typing import Iterable, List
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
 
 from repro.predictions import PredictionAssignment
+from repro.runtime import ScenarioGrid
+
+
+def campaign_grid() -> ScenarioGrid:
+    """The shared campaign-runtime workload: sizes x budgets x all five
+    classic adversary families x input patterns x seeds (270 scenarios)."""
+    return ScenarioGrid(
+        n=[5, 6, 7],
+        budget=[0, 2, 4],
+        adversary=["silent", "split", "liar", "noise", "stalling"],
+        pattern=["split", "ones"],
+        seeds=3,
+    )
 
 
 def hiding_assignment(n: int, faulty: Iterable[int], hide: int) -> PredictionAssignment:

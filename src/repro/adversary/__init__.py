@@ -2,6 +2,13 @@
 
 from ..net.adversary import Adversary, AdversaryView, AdversaryWorld
 from .ghost import GhostRunner
+from .registry import (
+    AdversarySpec,
+    adversary_names,
+    adversary_spec,
+    make_adversary,
+    register,
+)
 from .stalling import StallingAdversary
 from .strategies import (
     CrashAdversary,
@@ -17,9 +24,14 @@ from .strategies import (
 
 __all__ = [
     "Adversary",
+    "AdversarySpec",
     "AdversaryView",
     "AdversaryWorld",
     "CrashAdversary",
+    "adversary_names",
+    "adversary_spec",
+    "make_adversary",
+    "register",
     "EchoAdversary",
     "GhostHonestAdversary",
     "GhostRunner",

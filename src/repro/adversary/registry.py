@@ -1,0 +1,112 @@
+"""Shared adversary registry.
+
+Sweeps, Monte-Carlo trials, the CLI, and the campaign runtime all need to
+construct adversaries by name.  Historically each kept its own table (and
+`experiments.sweeps.make_adversary` silently dropped its ``seed``
+argument); this module is the single source of truth.
+
+Each entry is an :class:`AdversarySpec` bundling a factory that takes a
+deterministic integer seed.  Strategies that consume randomness
+(``noise``) are marked ``seeded`` so callers that meter their own RNG
+streams (Monte-Carlo sampling) know whether constructing one draws
+entropy.
+
+Registering a new strategy is one decorator::
+
+    @register("myattack", description="...")
+    def _make_myattack(seed: int) -> Adversary:
+        return MyAttackAdversary()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..net.adversary import Adversary
+from .stalling import StallingAdversary
+from .strategies import (
+    EchoAdversary,
+    PredictionLiarAdversary,
+    RandomNoiseAdversary,
+    SilentAdversary,
+    SplitWorldAdversary,
+)
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """A named, seed-constructible adversary family."""
+
+    name: str
+    factory: Callable[[int], Adversary]
+    seeded: bool
+    description: str
+
+
+_REGISTRY: Dict[str, AdversarySpec] = {}
+
+
+def register(
+    name: str, *, seeded: bool = False, description: str = ""
+) -> Callable[[Callable[[int], Adversary]], Callable[[int], Adversary]]:
+    """Decorator registering ``factory(seed) -> Adversary`` under ``name``."""
+
+    def wrap(factory: Callable[[int], Adversary]) -> Callable[[int], Adversary]:
+        if name in _REGISTRY:
+            raise ValueError(f"adversary {name!r} already registered")
+        _REGISTRY[name] = AdversarySpec(name, factory, seeded, description)
+        return factory
+
+    return wrap
+
+
+def adversary_names() -> List[str]:
+    """All registered names, sorted (stable for CLI choices and docs)."""
+    return sorted(_REGISTRY)
+
+
+def adversary_spec(kind: str) -> AdversarySpec:
+    """Look up one entry; raises ``ValueError`` with the known names."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        known = ", ".join(adversary_names())
+        raise ValueError(
+            f"unknown adversary kind {kind!r} (known: {known})"
+        ) from None
+
+
+def make_adversary(kind: str, seed: int = 0) -> Adversary:
+    """Construct a registered adversary; ``seed`` feeds seeded families."""
+    return adversary_spec(kind).factory(seed)
+
+
+@register("silent", description="crash at time zero (weakest; the default)")
+def _make_silent(seed: int) -> Adversary:
+    return SilentAdversary()
+
+
+@register("split", description="equivocate between two honest halves")
+def _make_split(seed: int) -> Adversary:
+    return SplitWorldAdversary(0, 1)
+
+
+@register("liar", description="honest-looking except adversarial votes")
+def _make_liar(seed: int) -> Adversary:
+    return PredictionLiarAdversary()
+
+
+@register("noise", seeded=True, description="seeded random garbage payloads")
+def _make_noise(seed: int) -> Adversary:
+    return RandomNoiseAdversary(seed=seed)
+
+
+@register("stalling", description="protocol-aware camp-splitting stall")
+def _make_stalling(seed: int) -> Adversary:
+    return StallingAdversary(0, 1)
+
+
+@register("echo", description="replay the last honest payload to everyone")
+def _make_echo(seed: int) -> Adversary:
+    return EchoAdversary()

@@ -9,12 +9,22 @@ from .sweeps import (
     sweep_scale,
 )
 from .figures import ascii_plot, sparkline
-from .montecarlo import TrialStats, run_single_trial, run_trials
+from .montecarlo import (
+    TrialStats,
+    run_single_trial,
+    run_trials,
+    sample_scenario,
+    sample_trials,
+    trial_stats,
+)
 from .report import generate_report
 from .tables import format_markdown, format_table
 
 __all__ = [
     "ascii_plot",
+    "sample_scenario",
+    "sample_trials",
+    "trial_stats",
     "default_inputs",
     "format_markdown",
     "generate_report",

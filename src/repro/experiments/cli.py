@@ -1,4 +1,4 @@
-"""Command-line interface: run executions and sweeps from a shell.
+"""Command-line interface: run executions, sweeps, and campaigns.
 
 Examples::
 
@@ -6,20 +6,30 @@ Examples::
     python -m repro sweep-budget --n 33 --t 10 --f 10 --budgets 0,115,230
     python -m repro sweep-faults --n 25 --t 8 --faults 0,2,4,8
     python -m repro bound --n 33 --t 10 --f 10 --budget 230
+    python -m repro campaign --n 9,15 --budgets 0,10 \
+        --adversaries silent,stalling --seeds 5 --workers 4 \
+        --store campaign.jsonl
 
-The CLI is a thin shell over :mod:`repro.experiments.sweeps`; anything it
-prints can be reproduced programmatically.
+The CLI is a thin shell over :mod:`repro.experiments.sweeps` and the
+campaign runtime (:mod:`repro.runtime`); anything it prints can be
+reproduced programmatically.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
+from ..adversary.registry import adversary_names
 from ..core.wrapper import AUTHENTICATED, UNAUTHENTICATED, total_round_bound
 from ..lowerbounds.messages import message_lower_bound
 from ..lowerbounds.rounds import round_lower_bound
+from ..predictions.generators import GENERATORS
+from ..runtime.aggregate import check_envelopes, summarize
+from ..runtime.runner import run_campaign
+from ..runtime.scenario import INPUT_PATTERNS, ScenarioGrid
+from ..runtime.store import ResultStore
 from .sweeps import run_once, sweep_budget, sweep_faults
 from .tables import format_table
 
@@ -28,9 +38,48 @@ _ROW_COLUMNS = [
     "lb_rounds",
 ]
 
+GENERATOR_CHOICES = sorted(GENERATORS)
+
 
 def _int_list(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part != ""]
+
+
+def _auto_int_list(text: str) -> List[Optional[int]]:
+    """Comma list of ints or ``auto`` (derive the conventional value)."""
+    values: List[Optional[int]] = []
+    for part in text.split(","):
+        if part == "":
+            continue
+        if part == "auto":
+            values.append(None)
+            continue
+        try:
+            values.append(int(part))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected an integer or 'auto', got {part!r}"
+            ) from None
+    return values
+
+
+def _budget_list(text: str) -> List[Any]:
+    """Comma list of budgets: ints, or floats read as per-n fractions."""
+    values: List[Any] = []
+    for part in text.split(","):
+        if part == "":
+            continue
+        try:
+            values.append(float(part) if "." in part else int(part))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected an int or float budget, got {part!r}"
+            ) from None
+    return values
+
+
+def _str_list(text: str) -> List[str]:
+    return [part for part in text.split(",") if part != ""]
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -43,12 +92,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--generator",
-        choices=["random", "concentrated", "single_holder"],
+        choices=GENERATOR_CHOICES,
         default="concentrated",
         help="prediction corruption pattern",
     )
     parser.add_argument(
-        "--adversary", choices=["silent", "split"], default="silent"
+        "--adversary", choices=adversary_names(), default="silent"
     )
     parser.add_argument("--seed", type=int, default=0)
 
@@ -80,11 +129,114 @@ def build_parser() -> argparse.ArgumentParser:
     bound.add_argument("--t", type=int, required=True)
     bound.add_argument("--f", type=int, required=True)
     bound.add_argument("--budget", type=int, default=0)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="expand a scenario grid and run it on the campaign runtime",
+    )
+    campaign.add_argument(
+        "--n", type=_int_list, required=True, help="process counts, e.g. 7,15"
+    )
+    campaign.add_argument(
+        "--t", type=_auto_int_list, default=[None],
+        help="fault bounds; 'auto' derives (n-1)//3",
+    )
+    campaign.add_argument(
+        "--f", type=_auto_int_list, default=[None],
+        help="fault counts; 'auto' derives t",
+    )
+    campaign.add_argument(
+        "--budgets", type=_budget_list, default=[0],
+        help="error budgets B; floats are per-n fractions",
+    )
+    campaign.add_argument(
+        "--modes", type=_str_list, default=[UNAUTHENTICATED],
+        help=f"comma list of {UNAUTHENTICATED},{AUTHENTICATED}",
+    )
+    campaign.add_argument(
+        "--adversaries", type=_str_list, default=["silent"],
+        help="comma list of " + ",".join(adversary_names()),
+    )
+    campaign.add_argument(
+        "--generators", type=_str_list, default=["concentrated"],
+        help="comma list of " + ",".join(GENERATOR_CHOICES),
+    )
+    campaign.add_argument(
+        "--patterns", type=_str_list, default=["split"],
+        help="comma list of " + ",".join(INPUT_PATTERNS),
+    )
+    campaign.add_argument(
+        "--seeds", type=int, default=1,
+        help="seeds per configuration (expands to 0..seeds-1)",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1, help="worker pool size"
+    )
+    campaign.add_argument(
+        "--store", default=None,
+        help="JSONL result store path (resumable cache)",
+    )
+    campaign.add_argument(
+        "--group-by", type=_str_list, default=["n", "mode", "adversary"],
+        help="summary grouping columns",
+    )
+    campaign.add_argument(
+        "--rows", action="store_true", help="also print every result row"
+    )
     return parser
+
+
+def _run_campaign_command(args: argparse.Namespace) -> int:
+    grid = ScenarioGrid(
+        n=args.n,
+        t=args.t,
+        f=args.f,
+        budget=args.budgets,
+        mode=args.modes,
+        adversary=args.adversaries,
+        generator=args.generators,
+        pattern=args.patterns,
+        seeds=args.seeds,
+        skip_invalid=True,
+    )
+    store = ResultStore(args.store) if args.store else None
+    try:
+        result = run_campaign(grid, store=store, workers=args.workers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = result.stats
+    print(
+        f"campaign: {stats.total} scenarios | executed {stats.executed} | "
+        f"cached {stats.cached} | deduplicated {stats.deduplicated} | "
+        f"failed {stats.failed}"
+    )
+    rows = result.ok_rows()
+    if args.rows:
+        print(format_table(rows, _ROW_COLUMNS, title="scenarios"))
+    summary = summarize(rows, by=args.group_by)
+    columns = list(args.group_by) + [
+        "count", "agreed%", "validity_viol",
+        "rounds_mean", "rounds_p95", "rounds_max",
+        "messages_mean", "messages_max",
+    ]
+    print(format_table(summary, columns, title="campaign summary"))
+    violations = check_envelopes(rows)
+    if violations or stats.failed:
+        for violation in violations:
+            scenario = (violation["scenario"] or "")[:12]
+            print(f"ENVELOPE VIOLATION {scenario}: "
+                  + "; ".join(violation["problems"]))
+        if stats.failed:
+            print(f"{stats.failed} scenario(s) failed to execute")
+        return 1
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "campaign":
+        return _run_campaign_command(args)
     common = dict(
         mode=getattr(args, "mode", UNAUTHENTICATED),
         generator=getattr(args, "generator", "concentrated"),

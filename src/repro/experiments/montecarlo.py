@@ -3,32 +3,35 @@
 The theorems are worst-case statements; a production consumer also wants
 distributional evidence: *across many random fault sets, prediction
 corruptions, and adversaries, does the system always agree, and how do
-rounds distribute?*  :func:`run_trials` samples that space with seeded
-randomness and aggregates per-configuration statistics.
+rounds distribute?*  Sampling and execution are split: :func:`sample_trials`
+draws concrete, hashable :class:`ScenarioSpec` scenarios from seeded
+randomness, and the campaign runtime (:mod:`repro.runtime`) executes them
+-- serially, on a worker pool, or resumed from a result store -- before
+:func:`run_trials` aggregates per-configuration statistics.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional
 
-import repro
-from ..adversary import (
-    PredictionLiarAdversary,
-    RandomNoiseAdversary,
-    SilentAdversary,
-    SplitWorldAdversary,
-    StallingAdversary,
-)
-from ..predictions import generate
+from ..adversary.registry import adversary_spec, make_adversary
+from ..runtime.aggregate import agreement_rate, mean
+from ..runtime.execute import run_scenario
+from ..runtime.runner import run_campaign
+from ..runtime.scenario import ScenarioSpec
 
+#: Adversary families sampled by default; all live in the shared registry
+#: (:mod:`repro.adversary.registry`).  Mapping kept callable
+#: (``rng -> Adversary``) for backward compatibility; only seeded
+#: families draw from ``rng``, exactly as before the registry existed.
 ADVERSARIES = {
-    "silent": lambda rng: SilentAdversary(),
-    "split": lambda rng: SplitWorldAdversary(0, 1),
-    "liar": lambda rng: PredictionLiarAdversary(),
-    "noise": lambda rng: RandomNoiseAdversary(seed=rng.randrange(2**30)),
-    "stalling": lambda rng: StallingAdversary(0, 1),
+    name: (lambda rng, _name=name: make_adversary(
+        _name,
+        seed=rng.randrange(2**30) if adversary_spec(_name).seeded else 0,
+    ))
+    for name in ("silent", "split", "liar", "noise", "stalling")
 }
 
 
@@ -47,6 +50,55 @@ class TrialStats:
         return self.agreement_rate == 1.0 and self.validity_violations == 0
 
 
+def sample_scenario(
+    n: int,
+    t: int,
+    rng: random.Random,
+    *,
+    mode: str = "unauthenticated",
+    adversary_kind: Optional[str] = None,
+    max_budget: Optional[int] = None,
+) -> ScenarioSpec:
+    """Draw one randomized scenario: random fault set, budget, generator,
+    inputs, and (optionally random) adversary.  The returned spec is fully
+    concrete -- executing it needs no further entropy from ``rng``."""
+    f = rng.randint(0, t)
+    faulty = tuple(sorted(rng.sample(range(n), f)))
+    honest = n - f
+    cap = max_budget if max_budget is not None else 3 * n
+    budget = rng.randint(0, min(cap, honest * n))
+    kind = rng.choice(["random", "concentrated", "single_holder"])
+    adversary_name = adversary_kind or rng.choice(sorted(ADVERSARIES))
+    unanimous = rng.random() < 0.5
+    inputs = tuple(
+        [1] * n if unanimous else [rng.randint(0, 1) for _ in range(n)]
+    )
+    return ScenarioSpec(
+        n=n,
+        t=t,
+        f=f,
+        budget=budget,
+        mode=mode,
+        adversary=adversary_name,
+        generator=kind,
+        seed=rng.randrange(2**30),
+        faulty=faulty,
+        inputs=inputs,
+    )
+
+
+def sample_trials(
+    n: int,
+    t: int,
+    trials: int,
+    seed: int = 0,
+    **kwargs: Any,
+) -> List[ScenarioSpec]:
+    """Draw ``trials`` scenarios from one seeded stream."""
+    rng = random.Random(seed)
+    return [sample_scenario(n, t, rng, **kwargs) for _ in range(trials)]
+
+
 def run_single_trial(
     n: int,
     t: int,
@@ -56,40 +108,25 @@ def run_single_trial(
     adversary_kind: Optional[str] = None,
     max_budget: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """One randomized execution: random fault set, budget, generator,
-    inputs, and (optionally random) adversary."""
-    f = rng.randint(0, t)
-    faulty = sorted(rng.sample(range(n), f))
-    honest = [pid for pid in range(n) if pid not in set(faulty)]
-    cap = max_budget if max_budget is not None else 3 * n
-    budget = rng.randint(0, min(cap, len(honest) * n))
-    kind = rng.choice(["random", "concentrated", "single_holder"])
-    adversary_name = adversary_kind or rng.choice(sorted(ADVERSARIES))
-    unanimous = rng.random() < 0.5
-    inputs: List[Any] = (
-        [1] * n if unanimous else [rng.randint(0, 1) for _ in range(n)]
+    """One randomized execution; returns its result row."""
+    spec = sample_scenario(
+        n, t, rng,
+        mode=mode, adversary_kind=adversary_kind, max_budget=max_budget,
     )
-    predictions = generate(kind, n, honest, budget, rng)
-    report = repro.solve(
-        n,
-        t,
-        inputs,
-        faulty_ids=faulty,
-        adversary=ADVERSARIES[adversary_name](rng),
-        predictions=predictions,
-        mode=mode,
-        key_seed=rng.randrange(2**30),
+    return run_scenario(spec)
+
+
+def trial_stats(rows: List[Dict[str, Any]]) -> TrialStats:
+    """Aggregate campaign rows into :class:`TrialStats`."""
+    rounds = [r["rounds"] for r in rows]
+    return TrialStats(
+        trials=len(rows),
+        agreement_rate=agreement_rate(rows),
+        validity_violations=sum(1 for r in rows if not r.get("valid", True)),
+        rounds_mean=mean(rounds),
+        rounds_max=max(rounds) if rounds else 0,
+        messages_mean=mean([r["messages"] for r in rows]),
     )
-    valid = (not unanimous) or (report.agreed and report.decision == 1)
-    return {
-        "agreed": report.agreed,
-        "valid": valid,
-        "rounds": report.rounds,
-        "messages": report.messages,
-        "f": f,
-        "B": budget,
-        "adversary": adversary_name,
-    }
 
 
 def run_trials(
@@ -97,20 +134,19 @@ def run_trials(
     t: int,
     trials: int,
     seed: int = 0,
+    *,
+    workers: int = 1,
+    store: Optional[Any] = None,
     **kwargs: Any,
 ) -> TrialStats:
-    """Run ``trials`` randomized executions and aggregate."""
-    rng = random.Random(seed)
-    rows = [run_single_trial(n, t, rng, **kwargs) for _ in range(trials)]
-    agreements = sum(1 for r in rows if r["agreed"])
-    violations = sum(1 for r in rows if not r["valid"])
-    rounds = [r["rounds"] for r in rows]
-    messages = [r["messages"] for r in rows]
-    return TrialStats(
-        trials=trials,
-        agreement_rate=agreements / trials if trials else 1.0,
-        validity_violations=violations,
-        rounds_mean=sum(rounds) / len(rounds) if rounds else 0.0,
-        rounds_max=max(rounds) if rounds else 0,
-        messages_mean=sum(messages) / len(messages) if messages else 0.0,
-    )
+    """Run ``trials`` randomized executions and aggregate.
+
+    ``workers`` fans execution out on the campaign runner's process pool;
+    ``store`` (a :class:`~repro.runtime.store.ResultStore` or path) makes
+    repeated batches resume from cache.  Results are identical for any
+    worker count.
+    """
+    specs = sample_trials(n, t, trials, seed, **kwargs)
+    result = run_campaign(specs, workers=workers, store=store)
+    result.raise_on_failure()
+    return trial_stats(result.rows)

@@ -1,47 +1,37 @@
 """Parameter sweeps regenerating the paper's evaluation (Theorems 11-14).
 
-Each sweep runs full executions of :func:`repro.solve` across a parameter
-grid and reports one row per configuration with exact measured complexity,
-prediction-quality accounting (``B``, ``k_A``), and the matching
-theoretical envelopes.  Benchmarks and examples are thin wrappers over
-these functions, so the numbers in EXPERIMENTS.md are regenerable from one
-place.
+Each sweep expands a parameter grid into :class:`ScenarioSpec` scenarios
+and executes them through the campaign runtime
+(:mod:`repro.runtime`), reporting one row per configuration with exact
+measured complexity, prediction-quality accounting (``B``, ``k_A``), and
+the matching theoretical envelopes.  Benchmarks and examples are thin
+wrappers over these functions, so the numbers in EXPERIMENTS.md are
+regenerable from one place -- and any sweep accepts ``workers``/``store``
+to fan out on a pool or resume from a cache.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from ..adversary.strategies import SilentAdversary, SplitWorldAdversary
-from ..classify.analysis import lemma1_bound
-from ..core.api import solve
-from ..core.wrapper import UNAUTHENTICATED
-from ..lowerbounds.rounds import round_lower_bound
+from ..adversary.registry import make_adversary as _registry_make_adversary
 from ..net.adversary import Adversary
-from ..predictions.generators import generate
-from ..predictions.model import count_errors
+from ..runtime.execute import run_scenario
+from ..runtime.runner import run_campaign
+from ..runtime.scenario import ScenarioSpec, default_t, pattern_inputs
 
 
 def default_inputs(n: int, pattern: str = "split") -> List[int]:
     """Standard input vectors: ``split`` (half 0 / half 1), ``zeros``,
     ``ones``, or ``alternating``."""
-    if pattern == "zeros":
-        return [0] * n
-    if pattern == "ones":
-        return [1] * n
-    if pattern == "alternating":
-        return [pid % 2 for pid in range(n)]
-    return [0 if pid < n // 2 else 1 for pid in range(n)]
+    return pattern_inputs(n, pattern)
 
 
 def make_adversary(kind: str, seed: int = 0) -> Adversary:
-    """Adversaries used across sweeps (silent default, split-world attack)."""
-    if kind == "silent":
-        return SilentAdversary()
-    if kind == "split":
-        return SplitWorldAdversary(0, 1)
-    raise ValueError(f"unknown adversary kind {kind!r}")
+    """Construct any registered adversary (see
+    :mod:`repro.adversary.registry`); ``seed`` feeds seeded families such
+    as ``noise``."""
+    return _registry_make_adversary(kind, seed=seed)
 
 
 def run_once(
@@ -50,45 +40,36 @@ def run_once(
     f: int,
     budget: int,
     *,
-    mode: str = UNAUTHENTICATED,
+    mode: str = "unauthenticated",
     generator: str = "concentrated",
     adversary_kind: str = "silent",
     inputs: Optional[Sequence[Any]] = None,
     seed: int = 0,
 ) -> Dict[str, Any]:
-    """One execution; returns a result row."""
-    rng = random.Random(seed)
-    faulty = list(range(n - f, n))  # highest ids faulty, a fixed convention
-    honest = [pid for pid in range(n) if pid not in set(faulty)]
-    predictions = generate(generator, n, honest, budget, rng)
-    errors = count_errors(predictions, honest)
-    report = solve(
-        n,
-        t,
-        list(inputs) if inputs is not None else default_inputs(n),
-        faulty_ids=faulty,
-        adversary=make_adversary(adversary_kind, seed),
-        predictions=predictions,
+    """One execution; returns a result row (see
+    :func:`repro.runtime.execute.run_scenario`)."""
+    spec = ScenarioSpec(
+        n=n,
+        t=t,
+        f=f,
+        budget=budget,
         mode=mode,
-        key_seed=seed,
+        generator=generator,
+        adversary=adversary_kind,
+        seed=seed,
+        inputs=tuple(inputs) if inputs is not None else None,
     )
-    return {
-        "n": n,
-        "t": t,
-        "f": f,
-        "B": errors.total,
-        "B/n": round(errors.total / n, 2),
-        "mode": mode,
-        "generator": generator,
-        "adversary": adversary_kind,
-        "agreed": report.agreed,
-        "rounds": report.rounds,
-        "messages": report.messages,
-        "bits": report.bits,
-        "lb_rounds": round_lower_bound(n, t, f, errors.total),
-        "lemma1_kA_bound": lemma1_bound(n, f, errors.total),
-        "seed": seed,
-    }
+    return run_scenario(spec)
+
+
+def _run_specs(
+    specs: List[ScenarioSpec],
+    workers: int = 1,
+    store: Optional[Any] = None,
+) -> List[Dict[str, Any]]:
+    result = run_campaign(specs, workers=workers, store=store)
+    result.raise_on_failure()
+    return result.rows
 
 
 def sweep_budget(
@@ -96,10 +77,14 @@ def sweep_budget(
     t: int,
     f: int,
     budgets: Iterable[int],
+    *,
+    workers: int = 1,
+    store: Optional[Any] = None,
     **kwargs: Any,
 ) -> List[Dict[str, Any]]:
     """Theorems 11/12 main axis: rounds and messages versus ``B``."""
-    return [run_once(n, t, f, budget, **kwargs) for budget in budgets]
+    specs = [_spec(n, t, f, budget, **kwargs) for budget in budgets]
+    return _run_specs(specs, workers, store)
 
 
 def sweep_faults(
@@ -107,23 +92,55 @@ def sweep_faults(
     t: int,
     fault_counts: Iterable[int],
     budget: int = 0,
+    *,
+    workers: int = 1,
+    store: Optional[Any] = None,
     **kwargs: Any,
 ) -> List[Dict[str, Any]]:
     """Early-stopping axis: rounds versus ``f`` at a fixed budget."""
-    return [run_once(n, t, f, budget, **kwargs) for f in fault_counts]
+    specs = [_spec(n, t, f, budget, **kwargs) for f in fault_counts]
+    return _run_specs(specs, workers, store)
 
 
 def sweep_scale(
     sizes: Iterable[int],
     budget_per_n: float = 0.0,
     fault_fraction: float = 0.2,
+    *,
+    workers: int = 1,
+    store: Optional[Any] = None,
     **kwargs: Any,
 ) -> List[Dict[str, Any]]:
     """Scaling axis: complexity versus ``n`` at fixed ``B/n`` and ``f/n``."""
-    rows = []
+    specs = []
     for n in sizes:
-        t = max(1, (n - 1) // 3)
+        t = default_t(n)
         f = min(t, max(0, int(n * fault_fraction)))
         budget = int(budget_per_n * n)
-        rows.append(run_once(n, t, f, budget, **kwargs))
-    return rows
+        specs.append(_spec(n, t, f, budget, **kwargs))
+    return _run_specs(specs, workers, store)
+
+
+def _spec(
+    n: int,
+    t: int,
+    f: int,
+    budget: int,
+    *,
+    mode: str = "unauthenticated",
+    generator: str = "concentrated",
+    adversary_kind: str = "silent",
+    inputs: Optional[Sequence[Any]] = None,
+    seed: int = 0,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        n=n,
+        t=t,
+        f=f,
+        budget=budget,
+        mode=mode,
+        generator=generator,
+        adversary=adversary_kind,
+        seed=seed,
+        inputs=tuple(inputs) if inputs is not None else None,
+    )

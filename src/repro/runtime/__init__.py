@@ -1,0 +1,57 @@
+"""Parallel experiment runtime: scenario campaigns with caching.
+
+The runtime is the execution backbone for every experiment driver in the
+repository:
+
+* :mod:`~repro.runtime.scenario` -- declarative :class:`ScenarioSpec` /
+  :class:`ScenarioGrid` descriptions of executions, content-hashed;
+* :mod:`~repro.runtime.execute` -- one scenario in, one deterministic
+  result row out (all randomness derived from the scenario hash);
+* :mod:`~repro.runtime.store` -- append-only JSONL :class:`ResultStore`
+  keyed by scenario hash, tolerant of partial/corrupt lines, making
+  campaigns resumable;
+* :mod:`~repro.runtime.runner` -- :class:`CampaignRunner`, a
+  ``multiprocessing`` worker pool with chunked scheduling whose output is
+  bit-identical to a serial run;
+* :mod:`~repro.runtime.aggregate` -- group-by statistics, percentiles,
+  and envelope checks shared by sweeps, Monte-Carlo, CLI, and benchmarks.
+"""
+
+from .aggregate import (
+    agreement_rate,
+    check_envelopes,
+    group_by,
+    mean,
+    percentile,
+    summarize,
+)
+from .execute import run_scenario
+from .runner import CampaignResult, CampaignRunner, CampaignStats, run_campaign
+from .scenario import (
+    INPUT_PATTERNS,
+    ScenarioGrid,
+    ScenarioSpec,
+    default_t,
+    pattern_inputs,
+)
+from .store import ResultStore
+
+__all__ = [
+    "INPUT_PATTERNS",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignStats",
+    "ResultStore",
+    "ScenarioGrid",
+    "ScenarioSpec",
+    "agreement_rate",
+    "check_envelopes",
+    "default_t",
+    "group_by",
+    "mean",
+    "pattern_inputs",
+    "percentile",
+    "run_campaign",
+    "run_scenario",
+    "summarize",
+]

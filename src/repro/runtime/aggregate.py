@@ -1,0 +1,123 @@
+"""Aggregation over campaign result rows.
+
+Campaigns produce flat row dicts; analyses want grouped statistics and
+envelope checks.  This module is the one implementation of that math --
+the Monte-Carlo ``TrialStats``, the CLI summary tables, and benchmark
+assertions all route through it instead of each hand-rolling means and
+maxima.
+
+Percentiles use the nearest-rank definition, which is deterministic and
+exact on small samples (no interpolation surprises in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..core.wrapper import total_round_bound
+
+Row = Mapping[str, Any]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 on empty input (campaign-friendly)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, ``q`` in [0, 100]; 0.0 on empty input."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil(len * q / 100)
+    return ordered[int(rank) - 1]
+
+
+def group_by(
+    rows: Iterable[Row], keys: Sequence[str]
+) -> Dict[Tuple[Any, ...], List[Row]]:
+    """Group rows by a tuple of column values, insertion-ordered."""
+    groups: Dict[Tuple[Any, ...], List[Row]] = {}
+    for row in rows:
+        group_key = tuple(row.get(key) for key in keys)
+        groups.setdefault(group_key, []).append(row)
+    return groups
+
+
+def summarize(
+    rows: Iterable[Row],
+    by: Sequence[str] = (),
+    metrics: Sequence[str] = ("rounds", "messages"),
+) -> List[Dict[str, Any]]:
+    """Grouped statistics: count, agreement/validity rates, and per-metric
+    mean / p50 / p95 / max.  With ``by=()`` everything lands in one row."""
+    summaries = []
+    for group_key, members in group_by(rows, by).items():
+        summary: Dict[str, Any] = dict(zip(by, group_key))
+        summary["count"] = len(members)
+        summary["agreed%"] = round(
+            100 * mean([1.0 if r.get("agreed") else 0.0 for r in members]), 1
+        )
+        summary["validity_viol"] = sum(
+            1 for r in members if not r.get("valid", True)
+        )
+        for metric in metrics:
+            values = [r[metric] for r in members if metric in r]
+            summary[f"{metric}_mean"] = round(mean(values), 2)
+            summary[f"{metric}_p50"] = percentile(values, 50)
+            summary[f"{metric}_p95"] = percentile(values, 95)
+            summary[f"{metric}_max"] = max(values) if values else 0
+        summaries.append(summary)
+    return summaries
+
+
+def check_envelopes(
+    rows: Iterable[Row],
+    slack: int = 10,
+    check_lower_bound: bool = False,
+) -> List[Dict[str, Any]]:
+    """Check every row against the theoretical envelopes.
+
+    Violations returned (never raised, so campaign reports can render
+    them): disagreement, validity failure, or measured rounds above the
+    wrapper's worst-case cap (``total_round_bound(t, mode) + slack``).
+    With ``check_lower_bound`` (for worst-case-leaning workloads like the
+    hiding construction under the stalling adversary), rounds below the
+    row's Theorem 13 bound are also flagged -- there it indicates a
+    measurement bug, not a better algorithm; benign workloads may
+    legitimately finish early, hence the opt-in.
+    """
+    violations = []
+    for row in rows:
+        problems = []
+        if not row.get("agreed", False):
+            problems.append("disagreement")
+        if not row.get("valid", True):
+            problems.append("validity")
+        cap = None
+        if "t" in row and "mode" in row:
+            try:
+                cap = total_round_bound(row["t"], row["mode"]) + slack
+            except (KeyError, ValueError):
+                cap = None
+        if cap is not None and row.get("rounds", 0) > cap:
+            problems.append(f"rounds {row['rounds']} above cap {cap}")
+        lb = row.get("lb_rounds") if check_lower_bound else None
+        if lb is not None and row.get("agreed") and row.get("rounds", 0) < lb:
+            problems.append(f"rounds {row['rounds']} below Thm13 bound {lb}")
+        if problems:
+            violations.append(
+                {"scenario": row.get("scenario"), "problems": problems}
+            )
+    return violations
+
+
+def agreement_rate(rows: Sequence[Row]) -> float:
+    """Fraction of rows that agreed; 1.0 on empty input."""
+    rows = list(rows)
+    if not rows:
+        return 1.0
+    return mean([1.0 if r.get("agreed") else 0.0 for r in rows])

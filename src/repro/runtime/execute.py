@@ -1,0 +1,98 @@
+"""Scenario execution: one :class:`ScenarioSpec` in, one result row out.
+
+This is the single place that turns a declarative scenario into a real
+:func:`repro.solve` call.  All internal randomness (prediction corruption
+placement, seeded adversaries, key material) flows from the scenario's
+*derived* seed -- a pure function of the spec's content hash -- so the row
+a scenario produces is independent of which worker runs it, in what order,
+next to which other scenarios.  That property is what the campaign
+runner's serial-vs-parallel determinism guarantee rests on.
+
+Rows are flat JSON-serializable dicts, which keeps them storable in the
+:class:`~repro.runtime.store.ResultStore` and poolable across process
+boundaries without custom picklers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from ..classify.analysis import lemma1_bound
+from ..core.api import solve
+from ..adversary.registry import make_adversary
+from ..lowerbounds.rounds import round_lower_bound
+from ..predictions.generators import generate
+from ..predictions.model import count_errors
+from .scenario import ScenarioSpec
+
+_SEED_SPACE = 2**30
+
+
+def run_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Execute one scenario and return its result row.
+
+    The row carries the scenario identity (parameters plus content hash),
+    the measured complexity, and the matching theoretical envelopes.
+    """
+    spec.validate()
+    rng = random.Random(spec.derived_seed())
+    faulty = spec.faulty_ids()
+    honest = [pid for pid in range(spec.n) if pid not in set(faulty)]
+    inputs = spec.input_vector()
+    predictions = generate(spec.generator, spec.n, honest, spec.budget, rng)
+    errors = count_errors(predictions, honest)
+    adversary = make_adversary(spec.adversary, seed=rng.randrange(_SEED_SPACE))
+    report = solve(
+        spec.n,
+        spec.t,
+        inputs,
+        faulty_ids=faulty,
+        adversary=adversary,
+        predictions=predictions,
+        mode=spec.mode,
+        arms=spec.arms,
+        key_seed=rng.randrange(_SEED_SPACE),
+    )
+    decision = report.decision if report.agreed else None
+    honest_inputs = {inputs[pid] for pid in honest}
+    unanimous = len(honest_inputs) == 1
+    valid = (not unanimous) or (
+        report.agreed and decision == next(iter(honest_inputs))
+    )
+    return {
+        "scenario": spec.scenario_hash(),
+        "n": spec.n,
+        "t": spec.t,
+        "f": spec.f,
+        "budget": spec.budget,
+        "B": errors.total,
+        "B/n": round(errors.total / spec.n, 2),
+        "mode": spec.mode,
+        "generator": spec.generator,
+        "adversary": spec.adversary,
+        "pattern": spec.pattern,
+        "agreed": report.agreed,
+        "decision": decision,
+        "valid": valid,
+        "rounds": report.rounds,
+        "messages": report.messages,
+        "bits": report.bits,
+        "lb_rounds": _round_lb(spec, errors.total),
+        "lemma1_kA_bound": _lemma1(spec, errors.total),
+        "seed": spec.seed,
+    }
+
+
+def _round_lb(spec: ScenarioSpec, budget: int) -> Optional[int]:
+    """Theorem 13 envelope, where its preconditions hold."""
+    if 0 <= spec.f <= spec.t < spec.n - 1:
+        return round_lower_bound(spec.n, spec.t, spec.f, budget)
+    return None
+
+
+def _lemma1(spec: ScenarioSpec, budget: int) -> Optional[int]:
+    """Lemma 1 envelope, where its ``f < n/2`` precondition holds."""
+    if spec.f < (spec.n + 1) // 2:
+        return lemma1_bound(spec.n, spec.f, budget)
+    return None

@@ -1,0 +1,179 @@
+"""Campaign runner: execute scenario sets on a worker pool, resumably.
+
+:class:`CampaignRunner` takes any iterable of scenarios (typically a
+:class:`~repro.runtime.scenario.ScenarioGrid`), splits it into cached and
+pending work against an optional :class:`~repro.runtime.store.ResultStore`,
+executes the pending scenarios -- serially or on a ``multiprocessing``
+pool with chunked scheduling -- and reassembles rows in scenario order.
+
+Determinism contract: every scenario's row is a pure function of its spec
+(see :mod:`repro.runtime.execute`), duplicate specs are executed once, and
+results are keyed by content hash, so ``workers=N`` is row-for-row
+identical to ``workers=1`` regardless of pool scheduling.  Failures never
+poison the cache: a scenario that raises yields an ``error`` row that is
+reported but not stored, so the next run retries it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from .execute import run_scenario
+from .scenario import ScenarioGrid, ScenarioSpec
+from .store import ResultStore
+
+ScenarioSource = Union[ScenarioGrid, Iterable[ScenarioSpec]]
+
+
+def _execute_job(job: Tuple[str, ScenarioSpec]) -> Tuple[str, bool, Dict[str, Any]]:
+    """Pool worker: returns ``(hash, ok, row-or-error)``."""
+    key, spec = job
+    try:
+        return key, True, run_scenario(spec)
+    except Exception as exc:  # noqa: BLE001 - reported as a failed row
+        return key, False, {"error": f"{type(exc).__name__}: {exc}"}
+
+
+@dataclass
+class CampaignStats:
+    """Execution accounting for one :meth:`CampaignRunner.run` call."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    deduplicated: int = 0
+
+
+@dataclass
+class CampaignResult:
+    """Ordered result rows plus how they were obtained."""
+
+    rows: List[Dict[str, Any]]
+    stats: CampaignStats = field(default_factory=CampaignStats)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def ok_rows(self) -> List[Dict[str, Any]]:
+        return [row for row in self.rows if "error" not in row]
+
+    def raise_on_failure(self) -> "CampaignResult":
+        """Raise if any scenario failed, quoting the first error; returns
+        self for chaining.  Callers that want pre-runtime semantics (an
+        exception instead of error rows) call this before aggregating."""
+        if self.stats.failed:
+            first = next(row["error"] for row in self.rows if "error" in row)
+            raise RuntimeError(
+                f"{self.stats.failed} scenario(s) failed; first error: {first}"
+            )
+        return self
+
+
+class CampaignRunner:
+    """Run scenario campaigns with caching and optional parallelism.
+
+    Args:
+        store: optional result store; cached scenarios are not re-executed
+            and fresh rows are persisted as they complete.
+        workers: pool size; ``1`` (the default) runs in-process.
+        chunk_size: scenarios per pool task; defaults to an even split
+            across ``4 * workers`` chunks (bounded below by 1).
+        mp_context: multiprocessing start method; ``fork`` (default) keeps
+            worker startup cheap on Linux, ``spawn`` works everywhere.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        mp_context: str = "fork",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+
+    def run(self, scenarios: ScenarioSource) -> CampaignResult:
+        """Execute a campaign; returns rows in scenario order."""
+        specs = self._materialize(scenarios)
+        stats = CampaignStats(total=len(specs))
+        keyed = [(spec.scenario_hash(), spec) for spec in specs]
+
+        results: Dict[str, Dict[str, Any]] = {}
+        pending: List[Tuple[str, ScenarioSpec]] = []
+        pending_keys = set()
+        for key, spec in keyed:
+            if key in results or key in pending_keys:
+                stats.deduplicated += 1
+                continue
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None:
+                results[key] = cached
+                stats.cached += 1
+                continue
+            pending.append((key, spec))
+            pending_keys.add(key)
+
+        for key, ok, row in self._execute(pending):
+            results[key] = row
+            if ok:
+                stats.executed += 1
+                if self.store is not None:
+                    self.store.put(key, row)
+            else:
+                stats.failed += 1
+        if self.store is not None:
+            self.store.sync()
+
+        rows = [results[key] for key, _ in keyed]
+        return CampaignResult(rows=rows, stats=stats)
+
+    def _materialize(self, scenarios: ScenarioSource) -> List[ScenarioSpec]:
+        if isinstance(scenarios, ScenarioGrid):
+            return scenarios.expand()
+        return [spec.validate() for spec in scenarios]
+
+    def _execute(
+        self, pending: List[Tuple[str, ScenarioSpec]]
+    ) -> Iterator[Tuple[str, bool, Dict[str, Any]]]:
+        if not pending:
+            return iter(())
+        if self.workers == 1:
+            return map(_execute_job, pending)
+        return self._execute_pool(pending)
+
+    def _execute_pool(
+        self, pending: List[Tuple[str, ScenarioSpec]]
+    ) -> Iterator[Tuple[str, bool, Dict[str, Any]]]:
+        chunk = self.chunk_size or max(1, len(pending) // (4 * self.workers))
+        try:
+            ctx = multiprocessing.get_context(self.mp_context)
+        except ValueError:
+            ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=self.workers) as pool:
+            # imap_unordered: scheduling order is irrelevant because rows
+            # are keyed by content hash and reassembled in scenario order.
+            yield from pool.imap_unordered(_execute_job, pending, chunksize=chunk)
+
+
+def run_campaign(
+    scenarios: ScenarioSource,
+    *,
+    store: Optional[Union[str, ResultStore]] = None,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+) -> CampaignResult:
+    """One-call convenience wrapper around :class:`CampaignRunner`."""
+    if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
+        store = ResultStore(store)
+    runner = CampaignRunner(store=store, workers=workers, chunk_size=chunk_size)
+    return runner.run(scenarios)

@@ -1,0 +1,127 @@
+"""Content-addressed result store: append-only JSONL keyed by scenario hash.
+
+The store is the campaign runtime's resumability layer.  Each completed
+scenario appends one self-delimiting JSON line ``{"key": <hash>, "row":
+<row>}``; on load the file is replayed into memory, so an interrupted or
+repeated campaign serves every already-completed scenario from disk and
+executes only the remainder.
+
+Recovery is deliberately forgiving: a crash mid-append leaves a truncated
+final line, and stray corruption (partial writes, editor accidents) leaves
+undecodable ones.  Both are skipped and counted in ``corrupt_lines`` --
+never fatal -- and the next append re-aligns the file to a fresh line.
+Duplicate keys resolve last-write-wins, so re-running after a recovered
+crash simply supersedes any half-trusted row.  ``compact()`` rewrites the
+file to one clean line per key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+
+class ResultStore:
+    """Durable ``scenario hash -> result row`` mapping backed by JSONL."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.corrupt_lines = 0
+        self._rows: Dict[str, Dict[str, Any]] = {}
+        self._needs_newline = False
+        self._handle: Optional[Any] = None
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        self._needs_newline = bool(data) and not data.endswith(b"\n")
+        for line in data.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+                key, row = doc["key"], doc["row"]
+            except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
+                self.corrupt_lines += 1
+                continue
+            if not isinstance(key, str) or not isinstance(row, dict):
+                self.corrupt_lines += 1
+                continue
+            self._rows[key] = row
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._rows.get(key)
+
+    def _append_handle(self) -> Any:
+        if self._handle is None or self._handle.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def put(self, key: str, row: Dict[str, Any]) -> None:
+        """Record a completed scenario.
+
+        Each put is flushed to the OS (surviving a process crash); call
+        :meth:`sync` -- the campaign runner does, once per run -- or
+        :meth:`close` for power-failure durability.  One append handle is
+        kept open across puts so a large campaign is not O(rows) in
+        open/fsync syscalls.
+        """
+        line = json.dumps({"key": key, "row": row}, sort_keys=True)
+        handle = self._append_handle()
+        if self._needs_newline:
+            handle.write("\n")
+            self._needs_newline = False
+        handle.write(line + "\n")
+        handle.flush()
+        self._rows[key] = row
+
+    def sync(self) -> None:
+        """fsync pending appends to disk."""
+        if self._handle is not None and not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """fsync and release the append handle (reopened on next put)."""
+        if self._handle is not None and not self._handle.closed:
+            self.sync()
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def compact(self) -> None:
+        """Rewrite the file: one clean line per key, corruption dropped."""
+        self.close()
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for key in sorted(self._rows):
+                handle.write(
+                    json.dumps({"key": key, "row": self._rows[key]},
+                               sort_keys=True) + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self.corrupt_lines = 0
+        self._needs_newline = False
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._rows)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)

@@ -1,0 +1,91 @@
+"""Tests for the shared adversary registry."""
+
+import pytest
+
+from repro.adversary import (
+    EchoAdversary,
+    PredictionLiarAdversary,
+    RandomNoiseAdversary,
+    SilentAdversary,
+    SplitWorldAdversary,
+    StallingAdversary,
+    adversary_names,
+    adversary_spec,
+    make_adversary,
+    register,
+)
+
+EXPECTED = {
+    "silent": SilentAdversary,
+    "split": SplitWorldAdversary,
+    "liar": PredictionLiarAdversary,
+    "noise": RandomNoiseAdversary,
+    "stalling": StallingAdversary,
+    "echo": EchoAdversary,
+}
+
+
+class TestRegistry:
+    def test_names_are_sorted_and_complete(self):
+        names = adversary_names()
+        assert names == sorted(names)
+        assert set(EXPECTED) <= set(names)
+
+    @pytest.mark.parametrize("kind", sorted(EXPECTED))
+    def test_make_each_family(self, kind):
+        assert isinstance(make_adversary(kind), EXPECTED[kind])
+
+    def test_unknown_kind_lists_known_names(self):
+        with pytest.raises(ValueError, match="silent"):
+            make_adversary("bogus")
+        with pytest.raises(ValueError):
+            adversary_spec("bogus")
+
+    def test_noise_is_seeded(self):
+        assert adversary_spec("noise").seeded
+        assert not adversary_spec("silent").seeded
+        a = make_adversary("noise", seed=7)
+        b = make_adversary("noise", seed=7)
+        c = make_adversary("noise", seed=8)
+        assert a.rng.random() == b.rng.random()
+        assert a.rng.getstate() != c.rng.getstate()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("silent")(lambda seed: SilentAdversary())
+
+
+class TestSweepsIntegration:
+    def test_make_adversary_honours_seed(self):
+        """Regression: `experiments.sweeps.make_adversary` used to drop
+        its ``seed`` argument and rejected seed-dependent families."""
+        from repro.experiments.sweeps import make_adversary as sweeps_make
+
+        noise = sweeps_make("noise", seed=42)
+        assert isinstance(noise, RandomNoiseAdversary)
+        twin = sweeps_make("noise", seed=42)
+        assert noise.rng.getstate() == twin.rng.getstate()
+        assert isinstance(sweeps_make("stalling"), StallingAdversary)
+        with pytest.raises(ValueError):
+            sweeps_make("bogus")
+
+    def test_cli_exposes_all_registry_adversaries(self):
+        from repro.experiments.cli import build_parser
+
+        parser = build_parser()
+        for kind in adversary_names():
+            args = parser.parse_args(
+                ["solve", "--n", "7", "--t", "2", "--adversary", kind]
+            )
+            assert args.adversary == kind
+
+    def test_montecarlo_table_sources_registry(self):
+        from repro.experiments.montecarlo import ADVERSARIES
+
+        assert set(ADVERSARIES) == {
+            "silent", "split", "liar", "noise", "stalling"
+        }
+        import random
+
+        rng = random.Random(0)
+        assert isinstance(ADVERSARIES["noise"](rng), RandomNoiseAdversary)
