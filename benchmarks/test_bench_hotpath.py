@@ -1,0 +1,171 @@
+"""Hot-path microbenchmarks: the cached crypto/engine stack vs the seed path.
+
+PR 2's memoization layer (see :mod:`repro.perf`) claims a pure speed win:
+identical decisions, rounds, and message/bit counts, several times faster.
+This suite measures exactly that claim on the two authenticated hot paths
+-- committee broadcast (Algorithm 6) and certified graded consensus -- at
+n in {10, 20, 40}, by running each workload twice: once with the caching
+``KeyStore`` (the default) and once with ``KeyStore(..., cache=False)``,
+which reproduces the seed implementation instruction for instruction.
+
+Results are written to ``BENCH_hotpath.json`` at the repo root (gitignored:
+timings are per-machine), seeding the bench trajectory each run so future
+PRs can compare against a locally regenerated baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.broadcast import bb_with_implicit_committee
+from repro.core.api import run_protocol
+from repro.crypto import KeyStore, committee_message, make_certificate
+from repro.gradecast import graded_consensus_auth
+
+from conftest import print_table
+
+SIZES = (10, 20, 40)
+K = 2
+REPS = 3
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+_RESULTS: dict = {}
+
+
+def _build_cert(keystore, pid, t):
+    return make_certificate(
+        keystore.handle_for({j}).sign(j, committee_message(pid))
+        for j in range(t + 1)
+    )
+
+
+def _run_broadcast(n: int, cache: bool):
+    """One committee-broadcast execution; returns (result, keystore)."""
+    t = (n - 1) // 3
+    ks = KeyStore(n, seed=11, cache=cache)
+    committee = tuple(range(3 * K + 1))
+    certs = {pid: _build_cert(ks, pid, t) for pid in committee}
+    tag = ("bench-hot-bb",)
+
+    def factory(ctx):
+        return bb_with_implicit_committee(
+            ctx, tag, 0, f"payload-{n}", K, certs.get(ctx.pid), ks
+        )
+
+    result = run_protocol(n, t, [n - 1], factory, keystore=ks)
+    return result, ks
+
+
+def _run_gradecast(n: int, cache: bool):
+    """One certified graded-consensus execution, unanimous inputs.
+
+    Unanimity makes every honest process assemble and broadcast a quorum
+    lock certificate of ``n - t`` signatures -- the protocol's most
+    expensive verification path.
+    """
+    t = (n - 1) // 3
+    ks = KeyStore(n, seed=13, cache=cache)
+    tag = ("bench-hot-gc",)
+
+    def factory(ctx):
+        return graded_consensus_auth(ctx, tag, 1, ks)
+
+    result = run_protocol(n, t, [n - 1], factory, keystore=ks)
+    return result, ks
+
+
+def _fingerprint(result):
+    """Everything the correctness bar compares, as one structure."""
+    return {
+        "decisions": {str(pid): repr(v) for pid, v in sorted(result.decisions.items())},
+        "rounds": result.metrics.rounds,
+        "honest_messages": result.metrics.honest_messages,
+        "honest_bits": result.metrics.honest_bits,
+        "per_component": dict(sorted(result.metrics.per_component.items())),
+    }
+
+
+def _time_workload(runner, n: int):
+    """Best-of-REPS wall time for cached and uncached runs of ``runner``.
+
+    Returns (row, cached_result, cached_keystore) where the row carries the
+    timings and the asserted-identical fingerprints.
+    """
+    cached_times, uncached_times = [], []
+    cached_result = cached_ks = None
+    uncached_result = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        cached_result, cached_ks = runner(n, True)
+        cached_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        uncached_result, _ = runner(n, False)
+        uncached_times.append(time.perf_counter() - start)
+    cached_s, uncached_s = min(cached_times), min(uncached_times)
+    assert _fingerprint(cached_result) == _fingerprint(uncached_result)
+    row = {
+        "n": n,
+        "cached_ms": round(cached_s * 1e3, 3),
+        "uncached_ms": round(uncached_s * 1e3, 3),
+        "speedup": round(uncached_s / cached_s, 2),
+        "fingerprint": _fingerprint(cached_result),
+    }
+    return row, cached_result, cached_ks
+
+
+def _record(name: str, rows):
+    _RESULTS[name] = rows
+    BENCH_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def test_hotpath_committee_broadcast():
+    rows = []
+    for n in SIZES:
+        row, result, ks = _time_workload(_run_broadcast, n)
+        assert all(v == f"payload-{n}" for v in result.decisions.values())
+        assert result.metrics.rounds == K + 1
+        stats = ks.cache_stats()
+        row["inspect_chain_hit_rate"] = stats["inspect_chain"]["hit_rate"]
+        row["sign_digest_hit_rate"] = stats["sign_digest"]["hit_rate"]
+        rows.append(row)
+        # Every recipient after the first must be served from the chain
+        # cache: one miss per broadcast chain object, hence a hit rate of
+        # (honest - 1) / honest.
+        honest = n - 1
+        assert stats["inspect_chain"]["hit_rate"] >= (honest - 1) / honest - 1e-9
+    _record("committee_broadcast", rows)
+    print_table(
+        [{k: v for k, v in r.items() if k != "fingerprint"} for r in rows],
+        ["n", "cached_ms", "uncached_ms", "speedup",
+         "inspect_chain_hit_rate", "sign_digest_hit_rate"],
+        f"Committee broadcast hot path (k={K}, cached vs seed)",
+    )
+    # Acceptance bar: >= 3x wall-clock at n=40 with bit-identical metrics
+    # (the fingerprint equality above covers rounds/messages/bits).
+    at_40 = next(r for r in rows if r["n"] == 40)
+    assert at_40["speedup"] >= 3.0, f"speedup {at_40['speedup']} below 3x"
+
+
+def test_hotpath_gradecast():
+    rows = []
+    for n in SIZES:
+        row, result, ks = _time_workload(_run_gradecast, n)
+        # Unanimous honest inputs must come out with the top grade.
+        assert all(v == (1, 1) for v in result.decisions.values())
+        stats = ks.cache_stats()
+        row["gc_lock_hit_rate"] = stats["gc_lock"]["hit_rate"]
+        row["gc_echo_hit_rate"] = stats["gc_echo"]["hit_rate"]
+        rows.append(row)
+        honest = n - 1
+        assert stats["gc_lock"]["hit_rate"] >= (honest - 1) / honest - 1e-9
+    _record("gradecast", rows)
+    print_table(
+        [{k: v for k, v in r.items() if k != "fingerprint"} for r in rows],
+        ["n", "cached_ms", "uncached_ms", "speedup",
+         "gc_lock_hit_rate", "gc_echo_hit_rate"],
+        "Certified graded consensus hot path (cached vs seed)",
+    )
+    at_40 = next(r for r in rows if r["n"] == 40)
+    assert at_40["speedup"] >= 2.0, f"speedup {at_40['speedup']} below 2x"

@@ -13,14 +13,17 @@ See README.md for a quickstart and DESIGN.md for the system inventory.
 
 from .core.api import SolveReport, run_protocol, solve, solve_without_predictions
 from .core.wrapper import AUTHENTICATED, UNAUTHENTICATED, ba_with_predictions
+from .perf import CacheStats, cache_report
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AUTHENTICATED",
+    "CacheStats",
     "SolveReport",
     "UNAUTHENTICATED",
     "ba_with_predictions",
+    "cache_report",
     "run_protocol",
     "solve",
     "solve_without_predictions",

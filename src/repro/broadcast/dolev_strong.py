@@ -18,6 +18,7 @@ from typing import Any, Generator, List, Optional, Set, Tuple
 from ..crypto.keys import KeyStore, Signature
 from ..net.context import ProcessContext
 from ..net.message import Envelope, by_tag
+from ..perf import memoized_check
 
 DEFAULT = ("ds-default",)
 
@@ -29,7 +30,26 @@ def _chain_message(tag: tuple, value: Any, prefix: Tuple[Signature, ...]) -> tup
 
 
 def _inspect(body: Any, sender: int, keystore: KeyStore, tag: tuple) -> Optional[Tuple[Any, Tuple[Signature, ...]]]:
-    """Validate a chain payload ``(value, sigs)``; return it or ``None``."""
+    """Validate a chain payload ``(value, sigs)``; return it or ``None``.
+
+    A relayed chain reaches every recipient as one broadcast body object,
+    so the signature-by-signature walk (quadratic in chain length via the
+    canonical encoding) memoizes per body within the keystore's
+    execution-scoped cache; see :mod:`repro.perf` for the safety policy.
+    """
+    return memoized_check(
+        keystore,
+        "ds_chain",
+        body,
+        (tag, sender),
+        lambda: _inspect_uncached(body, sender, keystore, tag),
+        positive=lambda checked: checked is not None,
+    )
+
+
+def _inspect_uncached(
+    body: Any, sender: int, keystore: KeyStore, tag: tuple
+) -> Optional[Tuple[Any, Tuple[Signature, ...]]]:
     if not (isinstance(body, tuple) and len(body) == 2):
         return None
     value, sigs = body
@@ -103,7 +123,10 @@ def dolev_strong(
 def by_tag_all(inbox: List[Envelope], tag: tuple) -> List[Tuple[int, Any]]:
     """Like :func:`repro.net.message.by_tag` but keeping *all* messages per
     sender -- Dolev-Strong relays may legitimately carry several chains for
-    the same instance in one round."""
-    return [
-        (env.sender, env.body()) for env in inbox if env.tag() == tag
-    ]
+    the same instance in one round.  Parses each payload once."""
+    out: List[Tuple[int, Any]] = []
+    for env in inbox:
+        env_tag, body = env.parts()
+        if env_tag == tag:
+            out.append((env.sender, body))
+    return out

@@ -53,7 +53,16 @@ def bb_with_implicit_committee(
     accepted: Set[Any] = set()
 
     def fresh_valid_chains(inbox: List[Envelope], length: int) -> List[tuple]:
-        """Valid chains of exactly ``length`` started by ``sender``."""
+        """Valid chains of exactly ``length`` started by ``sender``.
+
+        ``inspect_chain`` memoizes per chain object within ``keystore``, so
+        across the ``n`` recipients of a broadcast the expensive link-by-link
+        verification runs once; this loop then only pays a cache lookup.
+        Once two values are accepted the protocol is committed to returning
+        ``DEFAULT``, so further chains need no inspection at all.
+        """
+        if len(accepted) >= 2:
+            return []
         chains = []
         for _, body in by_tag(inbox, tag):
             info = inspect_chain(body, ctx.t, keystore)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Sequence, Set
 
 from ..crypto.keys import KeyStore
+from ..perf import cache_report
 from ..net.adversary import Adversary, AdversaryWorld
 from ..net.context import ProcessContext
 from ..net.engine import ExecutionResult, Network
@@ -45,6 +46,9 @@ class SolveReport:
     bits: int
     prediction_errors: int
     metrics: MetricsCollector
+    #: Per-cache hit/miss statistics (see :mod:`repro.perf`); populated by
+    #: :func:`solve` for authenticated executions, else payload stats only.
+    cache_stats: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def agreed(self) -> bool:
@@ -206,6 +210,7 @@ def solve(
         bits=result.metrics.honest_bits,
         prediction_errors=count_errors(predictions, honest).total,
         metrics=result.metrics,
+        cache_stats=cache_report(keystore=keystore, metrics=result.metrics),
     )
 
 
@@ -260,4 +265,5 @@ def solve_without_predictions(
         bits=result.metrics.honest_bits,
         prediction_errors=0,
         metrics=result.metrics,
+        cache_stats=cache_report(metrics=result.metrics),
     )

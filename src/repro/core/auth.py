@@ -54,11 +54,12 @@ def ba_with_classification_auth(
     inbox = yield outgoing
 
     my_votes = {}
+    my_vote_message = committee_message(ctx.pid)
     for sender, body in by_tag(inbox, vote_tag):
         if (
             isinstance(body, Signature)
             and body.signer == sender
-            and keystore.verify(body, committee_message(ctx.pid))
+            and keystore.verify(body, my_vote_message)
         ):
             my_votes[sender] = body
     certificate: Optional[frozenset] = None
@@ -91,6 +92,9 @@ def ba_with_classification_auth(
         if not (isinstance(body, tuple) and len(body) == 2):
             continue
         sender_value, sender_cert = body
+        # is_committee_certificate memoizes per (cert object, sender) inside
+        # the keystore, so each announcer's broadcast certificate is checked
+        # once per execution, not once per recipient.
         if is_committee_certificate(sender_cert, sender, ctx.t, keystore):
             announced.append(sender_value)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, FrozenSet, Iterable, Optional, Tuple
 
+from ..perf import memoized_check
 from .keys import KeyStore, Signature
 
 
@@ -31,7 +32,26 @@ def is_committee_certificate(
 
     Malformed input (wrong type, junk entries) simply fails the check;
     Byzantine processes may send anything.
+
+    The check memoizes per ``(cert object, pid, t)`` within the keystore's
+    execution-scoped cache, so a certificate attached to a broadcast is
+    verified once per execution rather than once per recipient.  Rejections
+    are negative-cached; acceptances are cached only for immutable
+    certificates (see :mod:`repro.perf`).
     """
+    return memoized_check(
+        keystore,
+        "committee_cert",
+        cert,
+        (pid, t),
+        lambda: _is_committee_certificate_uncached(cert, pid, t, keystore),
+        positive=bool,
+    )
+
+
+def _is_committee_certificate_uncached(
+    cert: Any, pid: int, t: int, keystore: KeyStore
+) -> bool:
     if not isinstance(cert, (frozenset, set, tuple, list)):
         return False
     message = committee_message(pid)

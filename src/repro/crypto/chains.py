@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
+from ..perf import memoized_check
 from .certificates import is_committee_certificate
 from .keys import KeyStore, Signature, SignerHandle
 
@@ -60,7 +61,25 @@ def inspect_chain(chain: Any, t: int, keystore: KeyStore) -> Optional[ChainInfo]
     link's signer, and a valid signature over the signed content (value or
     sub-chain, paired with the certificate).  Untrusted input may be any
     object; all failure modes return ``None``.
+
+    Verification memoizes per ``(chain object, t)`` within the keystore's
+    execution-scoped cache: a chain broadcast to ``n`` recipients is fully
+    verified once, not ``n`` times.  Failures (``None``) are negative-cached;
+    successes are cached only for immutable chains (see :mod:`repro.perf`).
     """
+    return memoized_check(
+        keystore,
+        "inspect_chain",
+        chain,
+        t,
+        lambda: _inspect_chain_uncached(chain, t, keystore),
+        positive=lambda info: info is not None,
+    )
+
+
+def _inspect_chain_uncached(
+    chain: Any, t: int, keystore: KeyStore
+) -> Optional[ChainInfo]:
     links = []
     node = chain
     # Unwind extension links down to the start link (bounded by structure).

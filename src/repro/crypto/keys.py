@@ -12,17 +12,32 @@ Verification is public.  An adversary can replay any signature it has seen
 Messages are hashed through a deterministic canonical encoding so that
 structurally equal payloads sign and verify identically across processes
 and runs.
+
+Performance: a :class:`KeyStore` is created per execution, so it doubles
+as the execution's cache root (see :mod:`repro.perf`).  Deeply immutable
+message structures are canonically encoded once (identity-keyed), signing
+digests are derived once per ``(signer, encoding)`` pair (digest-keyed
+fallback for structurally identical but distinct objects), and chain /
+certificate verifications memoize through :meth:`KeyStore.memo`.  A
+mutated object can never hit the identity layer -- only immutable
+structures are stored there -- which keeps every cache tamper-safe.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Iterable
+from typing import Any, Dict, FrozenSet, Iterable, Tuple
+
+from ..perf import CacheStats, IdentityMemo
 
 
 class ForgeryError(Exception):
     """Raised when a handle attempts to sign for an identity it lacks."""
+
+
+#: Discarded stats object backing :func:`canonical_encode`'s throwaway cache.
+_THROWAWAY_STATS = CacheStats("throwaway")
 
 
 def canonical_encode(obj: Any) -> bytes:
@@ -33,26 +48,68 @@ def canonical_encode(obj: Any) -> bytes:
     (order-normalized), and :class:`Signature` objects.  Raises
     ``TypeError`` for anything else, which keeps signing honest about what
     it covers.
+
+    Thin wrapper over :func:`_encode_cached` with a throwaway cache, so
+    there is exactly one encoding dispatch table: cached and uncached
+    key stores can never drift apart byte-wise.
+    """
+    return _encode_cached(obj, {}, _THROWAWAY_STATS)[0]
+
+
+def _encode_cached(
+    obj: Any, cache: Dict[int, Tuple[Any, bytes]], stats: CacheStats
+) -> Tuple[bytes, bool]:
+    """The one canonical-encoding implementation, with identity caching.
+
+    Returns ``(encoding, immutable)`` where ``immutable`` certifies the
+    whole subtree can never change in place.  Only immutable containers are
+    cached (``cache`` holds a strong reference to each cached object, so
+    their ids can never be reused); atoms are cheap enough to encode
+    directly.  :func:`canonical_encode` delegates here with a throwaway
+    cache, so the encoding format (and the ``TypeError`` contract) has a
+    single source of truth.
     """
     if obj is None:
-        return b"N"
+        return b"N", True
     if isinstance(obj, bool):
-        return b"T" if obj else b"F"
+        return (b"T" if obj else b"F"), True
     if isinstance(obj, int):
-        return b"i" + str(obj).encode() + b";"
+        return b"i" + str(obj).encode() + b";", True
     if isinstance(obj, str):
         encoded = obj.encode()
-        return b"s" + str(len(encoded)).encode() + b":" + encoded
+        return b"s" + str(len(encoded)).encode() + b":" + encoded, True
     if isinstance(obj, bytes):
-        return b"b" + str(len(obj)).encode() + b":" + obj
+        return b"b" + str(len(obj)).encode() + b":" + obj, True
+    entry = cache.get(id(obj))
+    if entry is not None and entry[0] is obj:
+        stats.hits += 1
+        return entry[1], True
     if isinstance(obj, Signature):
-        return b"G(" + canonical_encode(obj.signer) + obj.digest + b")"
-    if isinstance(obj, (tuple, list)):
-        return b"(" + b"".join(canonical_encode(item) for item in obj) + b")"
-    if isinstance(obj, (set, frozenset)):
-        parts = sorted(canonical_encode(item) for item in obj)
-        return b"{" + b"".join(parts) + b"}"
-    raise TypeError(f"cannot canonically encode {type(obj).__name__}")
+        signer_enc, signer_imm = _encode_cached(obj.signer, cache, stats)
+        encoding = b"G(" + signer_enc + obj.digest + b")"
+        immutable = signer_imm and type(obj.digest) is bytes
+    elif isinstance(obj, (tuple, list)):
+        immutable = isinstance(obj, tuple)
+        pieces = []
+        for item in obj:
+            item_enc, item_imm = _encode_cached(item, cache, stats)
+            pieces.append(item_enc)
+            immutable = immutable and item_imm
+        encoding = b"(" + b"".join(pieces) + b")"
+    elif isinstance(obj, (set, frozenset)):
+        immutable = isinstance(obj, frozenset)
+        pieces = []
+        for item in obj:
+            item_enc, item_imm = _encode_cached(item, cache, stats)
+            pieces.append(item_enc)
+            immutable = immutable and item_imm
+        encoding = b"{" + b"".join(sorted(pieces)) + b"}"
+    else:
+        raise TypeError(f"cannot canonically encode {type(obj).__name__}")
+    if immutable:
+        stats.misses += 1
+        cache[id(obj)] = (obj, encoding)
+    return encoding, immutable
 
 
 @dataclass(frozen=True)
@@ -64,21 +121,76 @@ class Signature:
 
 
 class KeyStore:
-    """Holds per-process signing secrets; the simulation's trusted PKI."""
+    """Holds per-process signing secrets; the simulation's trusted PKI.
 
-    def __init__(self, n: int, seed: int = 0) -> None:
+    Also the execution's cache root: pass ``cache=False`` to run the
+    original uncached hot path (benchmarks use this to measure speedups
+    and assert result equality).
+    """
+
+    def __init__(self, n: int, seed: int = 0, cache: bool = True) -> None:
         self.n = n
         self._secrets = [
             hashlib.sha256(f"repro-key|{seed}|{pid}".encode()).digest()
             for pid in range(n)
         ]
+        self.caching = bool(cache)
+        self.encode_stats = CacheStats("canonical_encode")
+        self.sign_stats = CacheStats("sign_digest")
+        self._enc_cache: Dict[int, Tuple[Any, bytes]] = {}
+        self._sign_cache: Dict[Tuple[int, bytes], bytes] = {}
+        self._memos: Dict[str, IdentityMemo] = {}
+
+    def memo(self, name: str) -> IdentityMemo:
+        """The named per-store verification memo (created on first use)."""
+        memo = self._memos.get(name)
+        if memo is None:
+            memo = IdentityMemo(CacheStats(name), enabled=self.caching)
+            self._memos[name] = memo
+        return memo
+
+    def encodes_immutably(self, obj: Any) -> bool:
+        """Whether ``obj`` canonically encodes as a deeply immutable value.
+
+        Near-free for structures this store already encoded: their
+        immutable subtrees sit in the encoding cache.  Used as the gate for
+        caching *positive* verification results (:func:`repro.perf.memoized_check`).
+        """
+        if not self.caching:
+            return False
+        try:
+            _, immutable = _encode_cached(obj, self._enc_cache, self.encode_stats)
+        except TypeError:
+            return False
+        return immutable
+
+    def cache_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Statistics for every cache rooted at this store."""
+        report = {
+            self.encode_stats.name: self.encode_stats.as_dict(),
+            self.sign_stats.name: self.sign_stats.as_dict(),
+        }
+        for memo in self._memos.values():
+            report[memo.stats.name] = memo.stats.as_dict()
+        return report
 
     def _sign(self, signer: int, message: Any) -> Signature:
         if not (0 <= signer < self.n):
             raise ValueError(f"unknown signer {signer}")
-        digest = hashlib.sha256(
-            self._secrets[signer] + canonical_encode(message)
-        ).digest()
+        if not self.caching:
+            digest = hashlib.sha256(
+                self._secrets[signer] + canonical_encode(message)
+            ).digest()
+            return Signature(signer=signer, digest=digest)
+        encoding, _ = _encode_cached(message, self._enc_cache, self.encode_stats)
+        key = (signer, encoding)
+        digest = self._sign_cache.get(key)
+        if digest is None:
+            self.sign_stats.misses += 1
+            digest = hashlib.sha256(self._secrets[signer] + encoding).digest()
+            self._sign_cache[key] = digest
+        else:
+            self.sign_stats.hits += 1
         return Signature(signer=signer, digest=digest)
 
     def verify(self, sig: Any, message: Any) -> bool:

@@ -183,7 +183,47 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--rows", action="store_true", help="also print every result row"
     )
+    campaign.add_argument(
+        "--profile", type=int, nargs="?", const=25, default=None, metavar="N",
+        help="cProfile the grid's first scenario and print the top-N "
+        "cumulative entries plus cache statistics (skips the campaign)",
+    )
     return parser
+
+
+def _profile_scenario(grid: ScenarioGrid, top: int) -> int:
+    """Profile one scenario from ``grid`` and print top-``top`` stats."""
+    import cProfile
+    import io
+    import pstats
+
+    from ..runtime.execute import run_scenario
+
+    specs = grid.expand()
+    if not specs:
+        print("error: empty scenario grid", file=sys.stderr)
+        return 2
+    spec = specs[0]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    row = run_scenario(spec, collect_perf=True)
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(top)
+    print(f"profile of scenario {spec.scenario_hash()[:12]} "
+          f"(n={spec.n} t={spec.t} f={spec.f} mode={spec.mode} "
+          f"adversary={spec.adversary}):")
+    print(stream.getvalue())
+    perf = row.get("perf") or {}
+    if perf:
+        cache_rows = [
+            {"cache": name, **stats} for name, stats in sorted(perf.items())
+        ]
+        print(format_table(
+            cache_rows, ["cache", "hits", "misses", "hit_rate"],
+            title="cache statistics",
+        ))
+    return 0
 
 
 def _run_campaign_command(args: argparse.Namespace) -> int:
@@ -199,6 +239,8 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         seeds=args.seeds,
         skip_invalid=True,
     )
+    if args.profile is not None:
+        return _profile_scenario(grid, args.profile)
     store = ResultStore(args.store) if args.store else None
     try:
         result = run_campaign(grid, store=store, workers=args.workers)

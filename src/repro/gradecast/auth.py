@@ -27,10 +27,55 @@ from typing import Any, Generator, List, Optional, Tuple
 from ..crypto.keys import KeyStore, Signature
 from ..net.context import ProcessContext
 from ..net.message import Envelope, by_tag
+from ..perf import memoized_check
 
 
 def _echo_message(tag: tuple, value: Any) -> tuple:
     return (tag, "echo", value)
+
+
+def _valid_echo(body: Any, sender: int, tag: tuple, keystore: KeyStore) -> bool:
+    """Is ``body`` a well-signed round-1 echo ``(value, sig)`` from ``sender``?
+
+    Memoized per broadcast body object: the sender's echo reaches every
+    recipient as one shared object, so the signature is checked once per
+    execution instead of once per recipient.
+    """
+
+    def compute() -> bool:
+        echoed, sig = body
+        return (
+            isinstance(sig, Signature)
+            and sig.signer == sender
+            and keystore.verify(sig, _echo_message(tag, echoed))
+        )
+
+    return memoized_check(
+        keystore, "gc_echo", body, (tag, sender), compute, positive=bool
+    )
+
+
+def _certified_lock(body: Any, tag: tuple, quorum: int, keystore: KeyStore) -> bool:
+    """Does lock ``body = (value, cert)`` carry ``quorum`` valid echo signers?
+
+    Memoized per broadcast body object for the same reason as
+    :func:`_valid_echo`; a lock certificate of ``n - t`` signatures is by
+    far the protocol's most expensive per-recipient check.
+    """
+
+    def compute() -> bool:
+        lock_value, cert = body
+        signers = {
+            sig.signer
+            for sig in cert
+            if isinstance(sig, Signature)
+            and keystore.verify(sig, _echo_message(tag, lock_value))
+        }
+        return len(signers) >= quorum
+
+    return memoized_check(
+        keystore, "gc_lock", body, (tag, quorum), compute, positive=bool
+    )
 
 
 def graded_consensus_auth(
@@ -50,12 +95,8 @@ def graded_consensus_auth(
     for sender, body in by_tag(inbox, round1_tag):
         if not (isinstance(body, tuple) and len(body) == 2):
             continue
-        echoed, sig = body
-        if (
-            isinstance(sig, Signature)
-            and sig.signer == sender
-            and keystore.verify(sig, _echo_message(tag, echoed))
-        ):
+        if _valid_echo(body, sender, tag, keystore):
+            echoed, sig = body
             echo_sigs.setdefault(echoed, {})[sender] = sig
 
     locked: Optional[Any] = None
@@ -86,13 +127,7 @@ def graded_consensus_auth(
         lock_value, cert = body
         if not isinstance(cert, tuple):
             continue
-        signers = {
-            sig.signer
-            for sig in cert
-            if isinstance(sig, Signature)
-            and keystore.verify(sig, _echo_message(tag, lock_value))
-        }
-        if len(signers) >= quorum:
+        if _certified_lock(body, tag, quorum, keystore):
             lock_counts[lock_value] += 1
             if certified_value is None:
                 certified_value = lock_value

@@ -128,32 +128,38 @@ class Network:
             signer = signer_for(pid) if signer_for is not None else None
             ctx = ProcessContext(pid=pid, n=n, t=t, signer=signer)
             self._drivers[pid] = _HonestDriver(pid, protocol_factory(ctx))
+        # Round-loop bookkeeping: processes whose decision is still pending
+        # (drained by _note_decisions, which doubles as the loop condition,
+        # replacing an all-drivers scan per round).
+        self._undecided: Set[int] = set(self.honest_ids)
 
     def run(self) -> ExecutionResult:
         """Execute until every honest process returns; collect decisions."""
         self.adversary.bind(self.world)
+        drivers = self._drivers
         outgoing: List[Envelope] = []
         for pid in self.honest_ids:
-            outgoing.extend(self._validated(self._drivers[pid].start(), pid))
+            outgoing.extend(self._validated(drivers[pid].start(), pid))
         round_no = 0
         self._note_decisions(round_no)
 
-        while not all(driver.finished for driver in self._drivers.values()):
+        while self._undecided:
             if round_no >= self.max_rounds:
                 raise SimulationTimeout(
                     f"honest processes undecided after {round_no} rounds"
                 )
             round_no += 1
             self.metrics.record_round()
-            self._note_sends(outgoing)
+            self.metrics.record_sends(outgoing)
             faulty_out = self._adversary_round(round_no, outgoing)
             if self.observer is not None:
                 self.observer.on_round(round_no, list(outgoing), list(faulty_out))
             inboxes = self._route(outgoing, faulty_out)
             outgoing = []
             for pid in self.honest_ids:
-                produced = self._drivers[pid].resume(inboxes.get(pid, []))
-                outgoing.extend(self._validated(produced, pid))
+                produced = drivers[pid].resume(inboxes[pid])
+                if produced:
+                    outgoing.extend(self._validated(produced, pid))
             self._note_decisions(round_no)
 
         decisions = {pid: d.result for pid, d in self._drivers.items()}
@@ -192,18 +198,33 @@ class Network:
     def _route(
         self, honest_out: List[Envelope], faulty_out: List[Envelope]
     ) -> Dict[int, List[Envelope]]:
-        inboxes: Dict[int, List[Envelope]] = {}
-        for env in honest_out + faulty_out:
-            inboxes.setdefault(env.recipient, []).append(env)
+        """One round's inboxes, preallocated per honest recipient.
+
+        Messages addressed to faulty processes are not binned: the
+        adversary already receives them through its
+        :class:`~repro.net.adversary.AdversaryView` (``inbox_to_faulty``),
+        so routing them here was pure waste.
+        """
+        inboxes: Dict[int, List[Envelope]] = {pid: [] for pid in self.honest_ids}
+        for env in honest_out:
+            box = inboxes.get(env.recipient)
+            if box is not None:
+                box.append(env)
+        for env in faulty_out:
+            box = inboxes.get(env.recipient)
+            if box is not None:
+                box.append(env)
         return inboxes
 
-    def _note_sends(self, honest_out: List[Envelope]) -> None:
-        for env in honest_out:
-            self.metrics.record_send(env)
-
     def _note_decisions(self, round_no: int) -> None:
-        for pid, driver in self._drivers.items():
-            if driver.finished and pid not in self.metrics.decision_round:
-                self.metrics.record_decision(pid, round_no)
-                if self.observer is not None:
-                    self.observer.on_decision(pid, round_no)
+        if not self._undecided:
+            return
+        decided = []
+        for pid in self._undecided:
+            if self._drivers[pid].finished:
+                decided.append(pid)
+        for pid in sorted(decided):
+            self._undecided.discard(pid)
+            self.metrics.record_decision(pid, round_no)
+            if self.observer is not None:
+                self.observer.on_decision(pid, round_no)

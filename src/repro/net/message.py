@@ -26,9 +26,16 @@ from dataclasses import dataclass
 from typing import Any, Iterable, List, Sequence, Tuple
 
 
-@dataclass(frozen=True)
+_MALFORMED: Tuple[Any, Any] = (None, None)
+
+
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """A single point-to-point message transmission.
+
+    Frozen with ``__slots__``: envelopes are the engine's highest-volume
+    object (one per process pair per round), so attribute access stays on
+    the fast path and instances carry no dict.
 
     Attributes:
         sender: id of the transmitting process (authenticated by the
@@ -43,17 +50,25 @@ class Envelope:
     recipient: int
     payload: Any
 
+    def parts(self) -> Tuple[Any, Any]:
+        """The payload as a ``(tag, body)`` pair; ``(None, None)`` when
+        malformed.  One structure check yields both halves, so bulk
+        readers (:func:`by_tag`, Dolev-Strong's ``by_tag_all``) parse each
+        envelope exactly once; ``tag()``/``body()`` delegate here and cost
+        one check per call (a frozen ``__slots__`` instance has nowhere to
+        memoize)."""
+        payload = self.payload
+        if isinstance(payload, tuple) and len(payload) == 2:
+            return payload
+        return _MALFORMED
+
     def tag(self) -> Any:
         """Return the payload tag, or ``None`` for malformed payloads."""
-        if isinstance(self.payload, tuple) and len(self.payload) == 2:
-            return self.payload[0]
-        return None
+        return self.parts()[0]
 
     def body(self) -> Any:
         """Return the payload body, or ``None`` for malformed payloads."""
-        if isinstance(self.payload, tuple) and len(self.payload) == 2:
-            return self.payload[1]
-        return None
+        return self.parts()[1]
 
 
 def tagged(tag: Tuple, body: Any) -> Tuple:
@@ -72,10 +87,11 @@ def by_tag(inbox: Iterable[Envelope], tag: Tuple) -> List[Tuple[int, Any]]:
     seen = set()
     out: List[Tuple[int, Any]] = []
     for env in inbox:
-        if env.tag() != tag or env.sender in seen:
+        env_tag, body = env.parts()
+        if env_tag != tag or env.sender in seen:
             continue
         seen.add(env.sender)
-        out.append((env.sender, env.body()))
+        out.append((env.sender, body))
     return out
 
 

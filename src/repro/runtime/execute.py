@@ -29,11 +29,18 @@ from .scenario import ScenarioSpec
 _SEED_SPACE = 2**30
 
 
-def run_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
+def run_scenario(spec: ScenarioSpec, collect_perf: bool = False) -> Dict[str, Any]:
     """Execute one scenario and return its result row.
 
     The row carries the scenario identity (parameters plus content hash),
     the measured complexity, and the matching theoretical envelopes.
+
+    Each execution constructs its own cache stack (the :class:`KeyStore`
+    created inside :func:`repro.solve` is the per-scenario cache root, so
+    campaign workers never share or leak cached verifications across
+    scenarios).  With ``collect_perf`` the row additionally carries a
+    ``perf`` column of per-cache hit/miss statistics -- off by default so
+    rows stay byte-identical with historical stores and across workers.
     """
     spec.validate()
     rng = random.Random(spec.derived_seed())
@@ -60,7 +67,7 @@ def run_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
     valid = (not unanimous) or (
         report.agreed and decision == next(iter(honest_inputs))
     )
-    return {
+    row: Dict[str, Any] = {
         "scenario": spec.scenario_hash(),
         "n": spec.n,
         "t": spec.t,
@@ -82,6 +89,9 @@ def run_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
         "lemma1_kA_bound": _lemma1(spec, errors.total),
         "seed": spec.seed,
     }
+    if collect_perf:
+        row["perf"] = report.cache_stats
+    return row
 
 
 def _round_lb(spec: ScenarioSpec, budget: int) -> Optional[int]:
