@@ -1,4 +1,9 @@
-"""``python -m repro`` entry point (see :mod:`repro.experiments.cli`)."""
+"""``python -m repro`` entry point (see :mod:`repro.experiments.cli`).
+
+Subcommands: ``solve``, ``sweep-budget``, ``sweep-faults``, ``bound``,
+``campaign`` (scenario grids on the campaign runtime), and ``report``
+(store-fed EXPERIMENTS.md, tables, and figures via :mod:`repro.reporting`).
+"""
 
 import sys
 

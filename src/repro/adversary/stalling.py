@@ -49,6 +49,7 @@ class StallingAdversary(Adversary):
         self.value_b = value_b
 
     def bind(self, world: AdversaryWorld) -> None:
+        """Assign honest processes to the two camps it will keep split."""
         super().bind(world)
         self.camp_a = frozenset(pid for pid in world.honest_ids if pid % 2 == 0)
 

@@ -56,6 +56,7 @@ class _GhostBackedAdversary(Adversary):
         return self._runner.step(self._last_inbox)
 
     def step(self, view: AdversaryView) -> List[Envelope]:
+        """Advance the ghosts and emit their (filtered) outgoing envelopes."""
         outgoing = self._ghost_round(view)
         self._last_inbox = list(view.inbox_to_faulty)
         return self.filter_outgoing(outgoing, view)
@@ -63,6 +64,8 @@ class _GhostBackedAdversary(Adversary):
     def filter_outgoing(
         self, outgoing: List[Envelope], view: AdversaryView
     ) -> List[Envelope]:
+        """Strategy hook: mutate/drop the ghosts' honest-looking envelopes
+        before delivery.  The base implementation passes them through."""
         return outgoing
 
 
@@ -83,6 +86,7 @@ class GhostHonestAdversary(_GhostBackedAdversary):
     def filter_outgoing(
         self, outgoing: List[Envelope], view: AdversaryView
     ) -> List[Envelope]:
+        """Apply every mutator to each envelope; ``None`` drops it."""
         result = []
         for env in outgoing:
             mutated: Optional[Envelope] = env
@@ -114,6 +118,7 @@ class CrashAdversary(_GhostBackedAdversary):
     def filter_outgoing(
         self, outgoing: List[Envelope], view: AdversaryView
     ) -> List[Envelope]:
+        """Suppress envelopes from processes at or past their crash round."""
         kept = []
         for env in outgoing:
             crash_at = self.crash_rounds.get(env.sender)
@@ -138,6 +143,7 @@ class SplitWorldAdversary(Adversary):
         self.value_b = value_b
 
     def bind(self, world: AdversaryWorld) -> None:
+        """Split the honest processes into the two target halves."""
         super().bind(world)
         honest = world.honest_ids
         half = len(honest) // 2
@@ -244,6 +250,7 @@ class EchoAdversary(Adversary):
     process -- a cheap replay attack exercising tag/signature freshness."""
 
     def bind(self, world: AdversaryWorld) -> None:
+        """Reset the replay buffer for a fresh execution."""
         super().bind(world)
         self._last_payload: Any = None
 

@@ -52,6 +52,7 @@ class SolveReport:
 
     @property
     def agreed(self) -> bool:
+        """Whether every honest process decided, on one common value."""
         return (
             len(self.decisions) == len(self.honest_ids)
             and len(set(self.decisions.values())) == 1

@@ -9,10 +9,12 @@ Examples::
     python -m repro campaign --n 9,15 --budgets 0,10 \
         --adversaries silent,stalling --seeds 5 --workers 4 \
         --store campaign.jsonl
+    python -m repro report --scale small --store reports/campaign-small.jsonl
 
-The CLI is a thin shell over :mod:`repro.experiments.sweeps` and the
-campaign runtime (:mod:`repro.runtime`); anything it prints can be
-reproduced programmatically.
+The CLI is a thin shell over :mod:`repro.experiments.sweeps`, the
+campaign runtime (:mod:`repro.runtime`), and the reporting subsystem
+(:mod:`repro.reporting`); anything it prints can be reproduced
+programmatically.
 """
 
 from __future__ import annotations
@@ -26,6 +28,9 @@ from ..core.wrapper import AUTHENTICATED, UNAUTHENTICATED, total_round_bound
 from ..lowerbounds.messages import message_lower_bound
 from ..lowerbounds.rounds import round_lower_bound
 from ..predictions.generators import GENERATORS
+from ..reporting.paper import SCALES as REPORT_SCALES, paper_report_spec
+from ..reporting.render import write_report
+from ..reporting.spec import build_report
 from ..runtime.aggregate import check_envelopes, summarize
 from ..runtime.runner import run_campaign
 from ..runtime.scenario import INPUT_PATTERNS, ScenarioGrid
@@ -188,6 +193,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="cProfile the grid's first scenario and print the top-N "
         "cumulative entries plus cache statistics (skips the campaign)",
     )
+
+    report = commands.add_parser(
+        "report",
+        help="render EXPERIMENTS.md, tables, and figures from the "
+        "result store (missing scenarios are executed once and cached)",
+    )
+    report.add_argument(
+        "--scale", choices=list(REPORT_SCALES), default="small",
+        help="small finishes in seconds; full matches the committed "
+        "EXPERIMENTS.md",
+    )
+    report.add_argument(
+        "--store", default=None,
+        help="JSONL result store feeding the report "
+        "(default: reports/campaign-<scale>.jsonl)",
+    )
+    report.add_argument(
+        "--out", default="reports",
+        help="output directory; use '.' to regenerate the committed "
+        "EXPERIMENTS.md in place",
+    )
+    report.add_argument(
+        "--format", choices=["md", "html"], default="md",
+        help="main document format (per-table files are always Markdown)",
+    )
+    report.add_argument(
+        "--workers", type=int, default=1,
+        help="worker pool size for missing scenarios",
+    )
+    report.add_argument(
+        "--mpl", action="store_true",
+        help="also render PNG figures when matplotlib is importable",
+    )
     return parser
 
 
@@ -275,10 +313,44 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_report_command(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    spec = paper_report_spec(args.scale)
+    store_path = args.store or f"reports/campaign-{args.scale}.jsonl"
+    with ResultStore(store_path) as store:
+        print(f"report[{args.scale}]: store {store_path} holds "
+              f"{len(store)} row(s)")
+        try:
+            report = build_report(spec, store=store, workers=args.workers)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        stats = report.stats
+        print(
+            f"report: {stats.total} scenarios | executed {stats.executed} | "
+            f"cached {stats.cached} | deduplicated {stats.deduplicated} | "
+            f"failed {stats.failed}"
+        )
+        written = write_report(report, Path(args.out), fmt=args.format,
+                               mpl=args.mpl)
+    for path in written:
+        print(f"wrote {path}")
+    for claim, result in report.claims:
+        print(f"claim {claim.claim_id}: {result.status} ({result.measured})")
+    if not report.passed:
+        failed = ", ".join(report.failed_claims())
+        print(f"error: claim check(s) failed: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "campaign":
         return _run_campaign_command(args)
+    if args.command == "report":
+        return _run_report_command(args)
     common = dict(
         mode=getattr(args, "mode", UNAUTHENTICATED),
         generator=getattr(args, "generator", "concentrated"),

@@ -1,72 +1,12 @@
-"""ASCII figures for experiment trends.
+"""ASCII figures (thin wrapper over :mod:`repro.reporting`).
 
-The paper states its results as theorems rather than plots, but the
-degradation story ("rounds grow like min{B/n + 1, f}") is naturally a
-curve.  This module renders sweep rows as terminal-friendly plots so the
-benchmark harness and examples can show trends without any plotting
-dependency.
+The plotting primitives moved to :mod:`repro.reporting.render`, where the
+report pipeline also writes them as figure files; this module keeps the
+historical import surface for benches and examples.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from ..reporting.render import ascii_plot, sparkline
 
-_BARS = " .:-=+*#%@"
-
-
-def sparkline(values: Sequence[float]) -> str:
-    """A one-line intensity plot of ``values`` (min..max normalized)."""
-    if not values:
-        return ""
-    low = min(values)
-    high = max(values)
-    if high == low:
-        return _BARS[5] * len(values)
-    scale = (len(_BARS) - 1) / (high - low)
-    return "".join(_BARS[int((v - low) * scale)] for v in values)
-
-
-def ascii_plot(
-    rows: List[Dict],
-    x: str,
-    y: str,
-    width: int = 50,
-    height: int = 10,
-    title: str = "",
-) -> str:
-    """A scatter/step plot of ``rows[y]`` against ``rows[x]``.
-
-    Both columns must be numeric.  X positions are scaled to ``width``
-    columns, Y values to ``height`` rows; ties overwrite (last wins).
-    """
-    points = [(float(r[x]), float(r[y])) for r in rows]
-    if not points:
-        return title
-    xs = [p[0] for p in points]
-    ys = [p[1] for p in points]
-    x_low, x_high = min(xs), max(xs)
-    y_low, y_high = min(ys), max(ys)
-    grid = [[" "] * width for _ in range(height)]
-
-    def col(value: float) -> int:
-        if x_high == x_low:
-            return 0
-        return min(width - 1, int((value - x_low) / (x_high - x_low) * (width - 1)))
-
-    def row(value: float) -> int:
-        if y_high == y_low:
-            return height - 1
-        fraction = (value - y_low) / (y_high - y_low)
-        return height - 1 - min(height - 1, int(fraction * (height - 1)))
-
-    for x_value, y_value in points:
-        grid[row(y_value)][col(x_value)] = "*"
-
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append(f"{y} ^  (top={y_high:g}, bottom={y_low:g})")
-    for grid_row in grid:
-        lines.append("  |" + "".join(grid_row))
-    lines.append("  +" + "-" * width + f"> {x} ({x_low:g}..{x_high:g})")
-    return "\n".join(lines)
+__all__ = ["ascii_plot", "sparkline"]

@@ -1,53 +1,12 @@
-"""Plain-text table rendering for benchmark and example output.
+"""Plain-text table rendering (thin wrapper over :mod:`repro.reporting`).
 
-The paper is a theory paper -- its "tables" are theorem statements.  The
-benchmark harness regenerates each theorem as a measured table; this module
-renders those rows the same way for benches, examples, and EXPERIMENTS.md.
+The table formatters moved to :mod:`repro.reporting.render` when the
+store-fed reporting subsystem took over document generation; this module
+keeps the historical import surface for benches, examples, and tests.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from ..reporting.render import format_markdown, format_table
 
-
-def format_table(
-    rows: Sequence[Dict[str, Any]],
-    columns: Sequence[str],
-    title: str = "",
-) -> str:
-    """Render dict rows as an aligned monospace table."""
-    def render(value: Any) -> str:
-        if isinstance(value, float):
-            return f"{value:.2f}"
-        return str(value)
-
-    widths = {
-        col: max(len(col), *(len(render(row.get(col, ""))) for row in rows))
-        if rows
-        else len(col)
-        for col in columns
-    }
-    lines = []
-    if title:
-        lines.append(title)
-    header = "  ".join(col.rjust(widths[col]) for col in columns)
-    lines.append(header)
-    lines.append("-" * len(header))
-    for row in rows:
-        lines.append(
-            "  ".join(render(row.get(col, "")).rjust(widths[col]) for col in columns)
-        )
-    return "\n".join(lines)
-
-
-def format_markdown(
-    rows: Sequence[Dict[str, Any]], columns: Sequence[str]
-) -> str:
-    """Render dict rows as a GitHub-flavoured markdown table."""
-    lines = ["| " + " | ".join(columns) + " |"]
-    lines.append("|" + "|".join("---" for _ in columns) + "|")
-    for row in rows:
-        lines.append(
-            "| " + " | ".join(str(row.get(col, "")) for col in columns) + " |"
-        )
-    return "\n".join(lines)
+__all__ = ["format_markdown", "format_table"]

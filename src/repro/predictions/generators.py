@@ -14,6 +14,9 @@ different patterns:
   worst case driving Lemma 1's bound).
 * :func:`corrupt_single_holder` -- all flips inside few holders' strings (a
   few subverted monitor endpoints; classification voting shrugs this off).
+* :func:`corrupt_hiding` -- the Theorem 13 proof's construction: flips
+  spent hiding faulty processes behind honest-looking predictions (the
+  adversarial monitor driving the round lower bound).
 
 All randomness flows through an injected ``random.Random`` for determinism.
 """
@@ -146,10 +149,49 @@ def corrupt_single_holder(
     return assignment
 
 
+def corrupt_hiding(
+    n: int,
+    honest_ids: Iterable[int],
+    budget: int,
+    rng: random.Random,
+) -> PredictionAssignment:
+    """The Theorem 13 hiding construction as a budgeted generator.
+
+    Spends the budget hiding faulty processes from every honest holder:
+    fully hiding one fault costs ``n - f`` wrong bits (one per honest
+    holder), so a budget of ``k * (n - f)`` hides the ``k`` lowest faulty
+    ids exactly as :func:`repro.lowerbounds.hiding_predictions` does.
+    Leftover budget partially hides the next faulty id (lowest holders
+    first); any remainder once every fault is hidden is spent on false
+    alarms.  The assignment carries exactly ``budget`` wrong bits, which
+    makes the lower-bound workload a cacheable scenario like any other.
+    """
+    honest = sorted(set(honest_ids))
+    honest_set: Set[int] = set(honest)
+    faulty = [j for j in range(n) if j not in honest_set]
+    capacity = len(honest) * n
+    if not 0 <= budget <= capacity:
+        raise ValueError(f"budget {budget} outside 0..{capacity}")
+    assignment = perfect_predictions(n, honest)
+    remaining = budget
+    for subject in faulty:
+        if remaining == 0:
+            break
+        for holder in honest[: min(len(honest), remaining)]:
+            _flip(assignment, holder, subject)
+        remaining -= min(len(honest), remaining)
+    if remaining:
+        cells = [(i, j) for i in honest for j in honest]
+        for holder, subject in cells[:remaining]:
+            _flip(assignment, holder, subject)
+    return assignment
+
+
 GENERATORS = {
     "random": corrupt_random,
     "concentrated": corrupt_concentrated,
     "single_holder": corrupt_single_holder,
+    "hiding": corrupt_hiding,
 }
 
 

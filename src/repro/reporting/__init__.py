@@ -1,0 +1,72 @@
+"""Store-fed reporting: tables, figures, and EXPERIMENTS.md from cached rows.
+
+The reporting subsystem closes the loop the campaign runtime opened:
+instead of re-running executions for every document, reports are rendered
+from :class:`~repro.runtime.store.ResultStore` rows -- a cold store
+executes each missing scenario exactly once (through
+:class:`~repro.runtime.runner.CampaignRunner`), a warm store renders
+instantly with zero executions, and either way the output is
+byte-identical.
+
+Layers:
+
+* :mod:`~repro.reporting.query` -- :class:`RowQuery`, a chainable
+  filter/sort/group pipeline over result rows and stores;
+* :mod:`~repro.reporting.spec` -- :class:`ReportSpec` declarations
+  (tables fed by scenario lists, figures, PASS/FAIL paper claims) and
+  :func:`build_report`, the store-backed materializer;
+* :mod:`~repro.reporting.render` -- table/figure primitives plus the
+  Markdown and HTML document renderers and :func:`write_report`;
+* :mod:`~repro.reporting.paper` -- the committed ``EXPERIMENTS.md`` as a
+  :func:`paper_report_spec` with small/full scales.
+
+CLI: ``python -m repro report --scale {small,full} [--store PATH]
+[--out DIR] [--format {md,html}]``.
+"""
+
+from .paper import paper_report_spec, regen_command
+from .query import RowQuery
+from .render import (
+    ascii_plot,
+    format_html_table,
+    format_markdown,
+    format_table,
+    render_html,
+    render_markdown,
+    sparkline,
+    write_report,
+)
+from .spec import (
+    ALL_TABLES,
+    ClaimResult,
+    ClaimSpec,
+    FigureSpec,
+    Report,
+    ReportSpec,
+    TableSpec,
+    build_report,
+    table_rows,
+)
+
+__all__ = [
+    "ALL_TABLES",
+    "ClaimResult",
+    "ClaimSpec",
+    "FigureSpec",
+    "Report",
+    "ReportSpec",
+    "RowQuery",
+    "TableSpec",
+    "ascii_plot",
+    "build_report",
+    "format_html_table",
+    "format_markdown",
+    "format_table",
+    "paper_report_spec",
+    "regen_command",
+    "render_html",
+    "render_markdown",
+    "sparkline",
+    "table_rows",
+    "write_report",
+]

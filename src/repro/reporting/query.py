@@ -1,0 +1,121 @@
+"""Query layer over campaign result rows and the :class:`ResultStore`.
+
+The store is a ``scenario hash -> row`` mapping, which is the right shape
+for resumability but the wrong shape for analysis: reports want "every
+unauthenticated row under the stalling adversary, grouped by ``n``", not
+exact-key lookups.  :class:`RowQuery` closes that gap -- a small, chainable,
+list-backed query object over row dicts, shared by the report builder, the
+paper claim checks, and ad-hoc store spelunking::
+
+    from repro.reporting import RowQuery
+    from repro.runtime import ResultStore
+
+    q = RowQuery.from_store(ResultStore("campaign.jsonl"))
+    for (n,), rows in q.filter(mode="unauthenticated").group_by("n").items():
+        print(n, rows.column("rounds"))
+
+Queries never mutate their input; every combinator returns a new
+:class:`RowQuery`.  Ordering is deterministic: :meth:`from_store` scans in
+scenario-hash order and :meth:`sort_by` is a stable sort, so any pipeline
+built from these produces byte-identical reports run over run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..runtime.aggregate import summarize
+from ..runtime.store import ResultStore
+
+Row = Dict[str, Any]
+
+
+class RowQuery:
+    """Chainable filter/sort/group pipeline over result-row dicts."""
+
+    def __init__(self, rows: Iterable[Row]) -> None:
+        self._rows: List[Row] = list(rows)
+
+    @classmethod
+    def from_store(cls, store: ResultStore) -> "RowQuery":
+        """Scan every row in ``store`` (deterministic scenario-hash order)."""
+        return cls(store.rows())
+
+    def filter(self, **equals: Any) -> "RowQuery":
+        """Keep rows whose fields equal every given keyword value."""
+        return RowQuery(
+            row for row in self._rows
+            if all(row.get(field) == value for field, value in equals.items())
+        )
+
+    def where(self, predicate: Callable[[Row], bool]) -> "RowQuery":
+        """Keep rows for which ``predicate(row)`` is true."""
+        return RowQuery(row for row in self._rows if predicate(row))
+
+    def sort_by(self, *fields: str, reverse: bool = False) -> "RowQuery":
+        """Stable sort by a tuple of field values (missing fields sort
+        first via a presence flag, so heterogeneous rows never compare
+        ``None`` against numbers)."""
+        def sort_key(row: Row) -> Tuple[Tuple[int, Any], ...]:
+            return tuple(
+                (0, 0) if row.get(field) is None else (1, row[field])
+                for field in fields
+            )
+
+        return RowQuery(sorted(self._rows, key=sort_key, reverse=reverse))
+
+    def group_by(self, *fields: str) -> Dict[Tuple[Any, ...], "RowQuery"]:
+        """Partition into sub-queries keyed by field-value tuples,
+        insertion-ordered (first occurrence wins the position)."""
+        groups: Dict[Tuple[Any, ...], List[Row]] = {}
+        for row in self._rows:
+            groups.setdefault(
+                tuple(row.get(field) for field in fields), []
+            ).append(row)
+        return {key: RowQuery(rows) for key, rows in groups.items()}
+
+    def distinct(self, field: str) -> List[Any]:
+        """Distinct values of ``field``, in first-seen order."""
+        seen: Dict[Any, None] = {}
+        for row in self._rows:
+            seen.setdefault(row.get(field))
+        return list(seen)
+
+    def column(self, field: str) -> List[Any]:
+        """The values of one field, in row order (``None`` where absent)."""
+        return [row.get(field) for row in self._rows]
+
+    def select(self, *columns: str) -> List[Row]:
+        """Project each row down to the named columns."""
+        return [
+            {column: row.get(column) for column in columns}
+            for row in self._rows
+        ]
+
+    def summarize(
+        self,
+        by: Sequence[str] = (),
+        metrics: Sequence[str] = ("rounds", "messages"),
+    ) -> List[Dict[str, Any]]:
+        """Grouped statistics via :func:`repro.runtime.aggregate.summarize`."""
+        return summarize(self._rows, by=by, metrics=metrics)
+
+    def rows(self) -> List[Row]:
+        """The underlying row list (a fresh copy; safe to mutate)."""
+        return list(self._rows)
+
+    def first(self) -> Row:
+        """The first row; raises ``IndexError`` when the query is empty."""
+        return self._rows[0]
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __repr__(self) -> str:
+        return f"RowQuery({len(self._rows)} rows)"

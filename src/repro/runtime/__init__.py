@@ -9,7 +9,8 @@ repository:
   result row out (all randomness derived from the scenario hash);
 * :mod:`~repro.runtime.store` -- append-only JSONL :class:`ResultStore`
   keyed by scenario hash, tolerant of partial/corrupt lines, making
-  campaigns resumable;
+  campaigns resumable; iterable (``rows()``/``items()``) so the
+  reporting query layer (:class:`repro.reporting.RowQuery`) can scan it;
 * :mod:`~repro.runtime.runner` -- :class:`CampaignRunner`, a
   ``multiprocessing`` worker pool with chunked scheduling whose output is
   bit-identical to a serial run;

@@ -55,12 +55,15 @@ class CampaignResult:
     stats: CampaignStats = field(default_factory=CampaignStats)
 
     def __iter__(self) -> Iterator[Dict[str, Any]]:
+        """Iterate over result rows in scenario order."""
         return iter(self.rows)
 
     def __len__(self) -> int:
+        """Number of result rows (one per input scenario)."""
         return len(self.rows)
 
     def ok_rows(self) -> List[Dict[str, Any]]:
+        """The rows of successfully executed scenarios (no ``error`` key)."""
         return [row for row in self.rows if "error" not in row]
 
     def raise_on_failure(self) -> "CampaignResult":
@@ -108,20 +111,9 @@ class CampaignRunner:
         stats = CampaignStats(total=len(specs))
         keyed = [(spec.scenario_hash(), spec) for spec in specs]
 
-        results: Dict[str, Dict[str, Any]] = {}
-        pending: List[Tuple[str, ScenarioSpec]] = []
-        pending_keys = set()
-        for key, spec in keyed:
-            if key in results or key in pending_keys:
-                stats.deduplicated += 1
-                continue
-            cached = self.store.get(key) if self.store is not None else None
-            if cached is not None:
-                results[key] = cached
-                stats.cached += 1
-                continue
-            pending.append((key, spec))
-            pending_keys.add(key)
+        results, pending = self._split(keyed)
+        stats.cached = len(results)
+        stats.deduplicated = len(keyed) - len(results) - len(pending)
 
         for key, ok, row in self._execute(pending):
             results[key] = row
@@ -136,6 +128,42 @@ class CampaignRunner:
 
         rows = [results[key] for key, _ in keyed]
         return CampaignResult(rows=rows, stats=stats)
+
+    def pending(self, scenarios: ScenarioSource) -> List[ScenarioSpec]:
+        """The scenarios :meth:`run` would actually execute.
+
+        Deduplicates the input by content hash and drops everything the
+        store already holds, without executing anything -- a cheap probe
+        of how much of a campaign a warm store covers before committing
+        to the run.  Shares :meth:`run`'s partition logic, so the two can
+        never disagree about the work set.
+        """
+        keyed = [
+            (spec.scenario_hash(), spec)
+            for spec in self._materialize(scenarios)
+        ]
+        _, pending = self._split(keyed)
+        return [spec for _, spec in pending]
+
+    def _split(
+        self, keyed: List[Tuple[str, ScenarioSpec]]
+    ) -> Tuple[Dict[str, Dict[str, Any]], List[Tuple[str, ScenarioSpec]]]:
+        """Partition ``(hash, spec)`` pairs into store-served results and
+        deduplicated pending work (the single dedup/cache policy both
+        :meth:`run` and :meth:`pending` apply)."""
+        results: Dict[str, Dict[str, Any]] = {}
+        pending: List[Tuple[str, ScenarioSpec]] = []
+        pending_keys = set()
+        for key, spec in keyed:
+            if key in results or key in pending_keys:
+                continue
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None:
+                results[key] = cached
+                continue
+            pending.append((key, spec))
+            pending_keys.add(key)
+        return results, pending
 
     def _materialize(self, scenarios: ScenarioSource) -> List[ScenarioSpec]:
         if isinstance(scenarios, ScenarioGrid):

@@ -137,6 +137,7 @@ class ScenarioSpec:
         return int(self.scenario_hash()[:16], 16)
 
     def with_seed(self, seed: int) -> "ScenarioSpec":
+        """A copy of this spec with ``seed`` replaced (new content hash)."""
         return replace(self, seed=seed)
 
 

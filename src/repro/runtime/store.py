@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 
 class ResultStore:
@@ -55,6 +55,7 @@ class ResultStore:
             self._rows[key] = row
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the row stored under ``key``, or ``None`` if absent."""
         return self._rows.get(key)
 
     def _append_handle(self) -> Any:
@@ -117,11 +118,35 @@ class ResultStore:
         self.corrupt_lines = 0
         self._needs_newline = False
 
-    def keys(self) -> Iterator[str]:
-        return iter(self._rows)
+    def keys(self) -> List[str]:
+        """All stored scenario hashes, sorted.
+
+        Every view of the store (``keys``/``rows``/``items``/iteration)
+        uses hash order: it is deterministic and independent of append
+        order, which matters because parallel campaigns append rows in
+        completion order -- a hash-ordered scan of two stores holding the
+        same rows is identical however they were populated, which is what
+        the reporting query layer (:class:`RowQuery
+        <repro.reporting.query.RowQuery>`) relies on.
+        """
+        return sorted(self._rows)
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """All stored rows, ordered by scenario hash (see :meth:`keys`)."""
+        return [self._rows[key] for key in self.keys()]
+
+    def items(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """``(scenario hash, row)`` pairs, ordered by scenario hash."""
+        return [(key, self._rows[key]) for key in self.keys()]
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate over scenario hashes in sorted order, like ``keys()``."""
+        return iter(self.keys())
 
     def __contains__(self, key: str) -> bool:
+        """Whether a row is stored under ``key``."""
         return key in self._rows
 
     def __len__(self) -> int:
+        """Number of distinct scenario rows held by the store."""
         return len(self._rows)
