@@ -1,0 +1,125 @@
+"""Backend throughput: serial vs pool vs TCP socket workers.
+
+Not a paper table -- the scaling acceptance bar for the backend
+subsystem: the same campaign grid through all three execution backends
+must produce row-for-row identical results, with the socket backend
+driving real worker *processes* (spawned via ``python -m repro worker
+--serve 127.0.0.1:0``, exactly the production path) at throughput
+comparable to the in-tree multiprocessing pool.
+
+Results are written to ``BENCH_backends.json`` at the repo root
+(gitignored: timings are per-machine), alongside ``BENCH_hotpath.json``,
+so future scaling PRs (job arrays, SSH fleets, async engine) can compare
+against a locally regenerated baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import (
+    PoolBackend,
+    ScenarioGrid,
+    SerialBackend,
+    SocketBackend,
+    run_campaign,
+)
+
+from conftest import print_table
+
+WORKERS = 2
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+
+#: Enough work for per-scenario cost to dominate setup, small enough for
+#: CI: 3 sizes x 2 budgets x 2 adversaries x 2 patterns x 3 seeds = 72.
+GRID = ScenarioGrid(
+    n=[7, 9, 11],
+    budget=[0, 3],
+    adversary=["silent", "stalling"],
+    pattern=["split", "ones"],
+    seeds=3,
+)
+
+
+def spawn_worker() -> "tuple[subprocess.Popen, str]":
+    """Start a real worker process on a free port; returns (proc, addr)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--serve", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=str(BENCH_PATH.parent),
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    line = proc.stdout.readline()  # "worker listening on HOST:PORT"
+    if "listening on" not in line:
+        proc.kill()
+        raise RuntimeError(f"worker failed to start: {line!r}")
+    return proc, line.rsplit(" ", 1)[-1].strip()
+
+
+def timed(backend, label):
+    start = time.perf_counter()
+    result = run_campaign(GRID, backend=backend)
+    wall = time.perf_counter() - start
+    assert result.stats.failed == 0
+    assert result.stats.executed == GRID.size()
+    return result, {
+        "backend": label,
+        "scenarios": GRID.size(),
+        "wall_s": round(wall, 3),
+        "scen_per_s": round(GRID.size() / wall, 1),
+    }
+
+
+@pytest.mark.benchmark(group="backends")
+def test_backend_throughput_and_equivalence():
+    serial, serial_row = timed(SerialBackend(), "serial")
+    pool, pool_row = timed(PoolBackend(workers=WORKERS), f"pool[{WORKERS}]")
+
+    procs, addresses = [], []
+    try:
+        for _ in range(WORKERS):
+            proc, address = spawn_worker()
+            procs.append(proc)
+            addresses.append(address)
+        backend = SocketBackend(addresses, job_timeout=120.0)
+        sock, sock_row = timed(backend, f"socket[{WORKERS}]")
+    finally:
+        for proc in procs:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    # Equivalence: three backends, one row stream.
+    assert pool.rows == serial.rows
+    assert sock.rows == serial.rows
+    per_worker = backend.last_stats["per_worker"]
+    assert all(count > 0 for count in per_worker.values()), per_worker
+
+    for row in (pool_row, sock_row):
+        row["vs_serial"] = round(
+            serial_row["wall_s"] / row["wall_s"], 2
+        )
+    serial_row["vs_serial"] = 1.0
+    rows = [serial_row, pool_row, sock_row]
+    BENCH_PATH.write_text(
+        json.dumps({"backends": rows}, indent=2, sort_keys=True) + "\n"
+    )
+    print_table(
+        rows,
+        ["backend", "scenarios", "wall_s", "scen_per_s", "vs_serial"],
+        f"Campaign backends: {GRID.size()} scenarios, "
+        f"pool vs {WORKERS} TCP worker processes",
+    )
+    # Loose sanity bar (not a speedup assertion: CI boxes vary): a fleet
+    # of real worker processes must not collapse to worse than half the
+    # serial throughput -- that would mean the protocol overhead, not the
+    # scenarios, dominates.
+    assert sock_row["scen_per_s"] >= 0.5 * serial_row["scen_per_s"], rows

@@ -1,8 +1,11 @@
 """``python -m repro`` entry point (see :mod:`repro.experiments.cli`).
 
 Subcommands: ``solve``, ``sweep-budget``, ``sweep-faults``, ``bound``,
-``campaign`` (scenario grids on the campaign runtime), and ``report``
-(store-fed EXPERIMENTS.md, tables, and figures via :mod:`repro.reporting`).
+``campaign`` (scenario grids on the campaign runtime, with
+``--backend {serial,pool,socket}``), ``report`` (store-fed
+EXPERIMENTS.md, tables, and figures via :mod:`repro.reporting`),
+``worker`` (serve scenario executions over TCP for socket-backend
+campaigns), and ``store`` (JSONL result-store compaction and merging).
 """
 
 import sys

@@ -27,6 +27,7 @@ from ..net.adversary import Adversary
 from .stalling import StallingAdversary
 from .strategies import (
     EchoAdversary,
+    MutatingAdversary,
     PredictionLiarAdversary,
     RandomNoiseAdversary,
     SilentAdversary,
@@ -110,3 +111,10 @@ def _make_stalling(seed: int) -> Adversary:
 @register("echo", description="replay the last honest payload to everyone")
 def _make_echo(seed: int) -> Adversary:
     return EchoAdversary()
+
+
+@register("mutating",
+          description="replay honest payloads, then mutate the sent "
+                      "objects in place (verification-cache gate probe)")
+def _make_mutating(seed: int) -> Adversary:
+    return MutatingAdversary()

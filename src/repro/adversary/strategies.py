@@ -18,6 +18,10 @@ paper's analyses quantify over:
   (inverted truth by default) to maximize classification divergence.
 * :class:`RandomNoiseAdversary` -- seeded random garbage, stress-testing
   untrusted-input handling in every protocol parser.
+* :class:`MutatingAdversary` -- replays honest payloads verbatim *and* as
+  mutable clones it keeps mutating in place after sending, probing the
+  verification caches' immutability gate (see :mod:`repro.perf`) in full
+  executions rather than only unit tests.
 * :class:`ScriptedAdversary` -- run an arbitrary per-round callable; used
   by the lower-bound constructions and targeted protocol tests.
 """
@@ -230,6 +234,104 @@ class RandomNoiseAdversary(Adversary):
                 recipient = self.rng.randrange(self.world.n)
                 outgoing.append(Envelope(pid, recipient, self._junk()))
         return outgoing
+
+
+def _listify(obj: Any) -> Any:
+    """Deep-copy ``obj`` with every tuple turned into a (mutable) list.
+
+    Leaves (ints, strings, signatures, frozensets) are shared, which is
+    fine: mutation happens on the list spines this function creates.
+    """
+    if isinstance(obj, tuple):
+        return [_listify(item) for item in obj]
+    return obj
+
+
+class MutatingAdversary(Adversary):
+    """Replay honest payloads, then mutate the sent objects in place.
+
+    The hot-path caches (:mod:`repro.perf`) memoize verification verdicts
+    by object identity, guarded by an immutability gate: *positive*
+    verdicts are cached only for deeply immutable objects, because a
+    mutable object could be validated once and then changed.  This
+    strategy attacks exactly that gate inside real executions.  Each
+    round, every faulty process:
+
+    1. re-sends recent honest payloads *verbatim* to every process --
+       immutable, honest-built objects, so verifiers may legitimately
+       serve cached positive verdicts for them;
+    2. sends *mutable clones* of those payloads (tuple bodies deep-copied
+       into lists) and keeps references to the clones;
+    3. corrupts every previously sent clone in place -- overwriting list
+       slots with garbage -- and re-sends the same (now different)
+       objects.
+
+    Mutations only ever make a clone *more* corrupt, never restore valid
+    content, so honest verifiers must reject the clones whether or not a
+    verdict was cached -- which is why executions under this adversary
+    are required (and tested) to be row-identical with caching on and
+    off.  If the immutability gate ever cached a positive verdict for a
+    mutable object, step 3 would desynchronize cached and uncached runs.
+    """
+
+    #: Clones kept under in-place mutation (bounds per-round traffic).
+    MAX_TRACKED = 4
+    #: How many of the round's honest payloads each faulty pid replays.
+    REPLAYS = 2
+
+    def bind(self, world: AdversaryWorld) -> None:
+        """Reset the tracked-clone buffer for a fresh execution."""
+        super().bind(world)
+        self._clones: List[Any] = []
+
+    def step(self, view: AdversaryView) -> List[Envelope]:
+        # Mutate everything we sent in earlier rounds, in place.
+        for clone in self._clones:
+            self._corrupt(clone, view.round_no)
+        fresh = [env.payload for env in view.honest_outgoing[-self.REPLAYS:]]
+        outgoing: List[Envelope] = []
+        appended = 0  # clones tracked *this* round (not every replay is)
+        for payload in fresh:
+            tag, body = payload if (
+                isinstance(payload, tuple) and len(payload) == 2
+            ) else (None, None)
+            if tag is None:
+                continue
+            clone_body = _listify(body)
+            if isinstance(clone_body, list):
+                self._clones.append(clone_body)
+                appended += 1
+            for pid in sorted(self.world.faulty_ids):
+                for recipient in range(self.world.n):
+                    # Verbatim replay: immutable, may hit positive caches.
+                    outgoing.append(Envelope(pid, recipient, payload))
+                    # Mutable clone: must never be positively cached.
+                    outgoing.append(
+                        Envelope(pid, recipient, (tag, clone_body))
+                    )
+        # Re-send earlier clones after their in-place mutation: same
+        # objects, different content -- the cache-poisoning attempt.
+        # Slice by the count actually appended this round: replays with
+        # non-tuple bodies track no clone, and cutting by replay count
+        # would wrongly exempt earlier clones from the re-send.
+        for clone in self._clones[:-appended or None]:
+            for pid in sorted(self.world.faulty_ids):
+                recipient = (view.round_no + pid) % self.world.n
+                outgoing.append(
+                    Envelope(pid, recipient,
+                             (("mutated", view.round_no), clone))
+                )
+        del self._clones[:-self.MAX_TRACKED or None]
+        return outgoing
+
+    @staticmethod
+    def _corrupt(clone: Any, round_no: int) -> None:
+        """Overwrite one list slot per level with unmistakable garbage."""
+        if not isinstance(clone, list) or not clone:
+            return
+        for item in clone:
+            MutatingAdversary._corrupt(item, round_no)
+        clone[0] = f"mutated-round-{round_no}"
 
 
 class ScriptedAdversary(Adversary):

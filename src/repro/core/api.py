@@ -142,6 +142,7 @@ def solve(
     arms: Sequence[str] = ("early", "class"),
     key_seed: int = 0,
     max_rounds: Optional[int] = None,
+    cache: bool = True,
 ) -> SolveReport:
     """Solve Byzantine agreement with predictions end to end.
 
@@ -157,6 +158,10 @@ def solve(
             ``"authenticated"`` (Theorem 12 suite).
         key_seed: deterministic key material for the simulated PKI.
         max_rounds: safety cap; defaults to the wrapper's worst-case bound.
+        cache: enable the authenticated-mode verification caches
+            (:mod:`repro.perf`); ``False`` reproduces the uncached seed
+            path instruction for instruction, which cache-safety tests
+            compare against (results must be identical either way).
 
     Returns:
         A :class:`SolveReport`.
@@ -173,7 +178,10 @@ def solve(
         predictions = perfect_predictions(n, honest)
     validate_assignment(predictions, n)
 
-    keystore = KeyStore(n, seed=key_seed) if mode == AUTHENTICATED else None
+    keystore = (
+        KeyStore(n, seed=key_seed, cache=cache)
+        if mode == AUTHENTICATED else None
+    )
     cap = max_rounds if max_rounds is not None else total_round_bound(t, mode) + 10
 
     def builder(ctx: ProcessContext, value: Any) -> Generator:

@@ -11,8 +11,19 @@ Examples::
         --store campaign.jsonl
     python -m repro report --scale small --store reports/campaign-small.jsonl
 
+    # Distributed: terminal 1+2 serve workers, terminal 3 drives them.
+    python -m repro worker --serve 127.0.0.1:7501
+    python -m repro worker --serve 127.0.0.1:7502
+    python -m repro campaign --n 9,15 --seeds 5 --backend socket \
+        --connect 127.0.0.1:7501,127.0.0.1:7502 --store campaign.jsonl
+
+    # Store maintenance: drop superseded/duplicate lines, merge shards.
+    python -m repro store compact campaign.jsonl --dry-run
+    python -m repro store merge all.jsonl shard-a.jsonl shard-b.jsonl
+
 The CLI is a thin shell over :mod:`repro.experiments.sweeps`, the
-campaign runtime (:mod:`repro.runtime`), and the reporting subsystem
+campaign runtime (:mod:`repro.runtime`, including the execution backends
+in :mod:`repro.runtime.backends`), and the reporting subsystem
 (:mod:`repro.reporting`); anything it prints can be reproduced
 programmatically.
 """
@@ -21,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import Any, List, Optional, Sequence
 
 from ..adversary.registry import adversary_names
@@ -32,9 +44,10 @@ from ..reporting.paper import SCALES as REPORT_SCALES, paper_report_spec
 from ..reporting.render import write_report
 from ..reporting.spec import build_report
 from ..runtime.aggregate import check_envelopes, summarize
+from ..runtime.backends import BACKEND_NAMES, BackendError, make_backend
 from ..runtime.runner import run_campaign
 from ..runtime.scenario import INPUT_PATTERNS, ScenarioGrid
-from ..runtime.store import ResultStore
+from ..runtime.store import ResultStore, StoreLockError
 from .sweeps import run_once, sweep_budget, sweep_faults
 from .tables import format_table
 
@@ -177,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--workers", type=int, default=1, help="worker pool size"
     )
+    _add_backend_flags(campaign)
     campaign.add_argument(
         "--store", default=None,
         help="JSONL result store path (resumable cache)",
@@ -222,11 +236,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker pool size for missing scenarios",
     )
+    _add_backend_flags(report)
     report.add_argument(
         "--mpl", action="store_true",
         help="also render PNG figures when matplotlib is importable",
     )
+
+    worker = commands.add_parser(
+        "worker",
+        help="serve scenario executions over TCP for --backend socket "
+        "campaigns (length-prefixed JSON frames, one process per worker)",
+    )
+    worker.add_argument(
+        "--serve", required=True, metavar="HOST:PORT",
+        help="interface and port to listen on (port 0 picks a free one; "
+        "the bound address is printed on startup)",
+    )
+    worker.add_argument(
+        "--die-after-jobs", type=int, default=None, metavar="N",
+        help="failure injection for tests/CI: accept N jobs, then drop "
+        "dead without replying",
+    )
+
+    store_cmd = commands.add_parser(
+        "store",
+        help="result-store maintenance (compaction, merging)",
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    compact = store_sub.add_parser(
+        "compact",
+        help="rewrite a JSONL store dropping superseded/duplicate rows "
+        "(last-write-wins by scenario hash) and corrupt lines",
+    )
+    compact.add_argument("path", help="JSONL result store to compact")
+    compact.add_argument(
+        "--dry-run", action="store_true",
+        help="print line/row counts without rewriting",
+    )
+    merge = store_sub.add_parser(
+        "merge",
+        help="merge stores into OUT (inputs win over OUT, later inputs "
+        "win over earlier, last-write-wins by scenario hash)",
+    )
+    merge.add_argument("out", help="destination store (created if missing)")
+    merge.add_argument("inputs", nargs="+", help="source stores to fold in")
+    merge.add_argument(
+        "--dry-run", action="store_true",
+        help="print merge counts without writing",
+    )
     return parser
+
+
+def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
+    """The execution-backend surface shared by campaign and report."""
+    parser.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default="auto",
+        help="execution backend; auto picks serial for --workers 1, "
+        "socket when --connect is given, else pool",
+    )
+    parser.add_argument(
+        "--connect", type=_str_list, default=[], metavar="HOST:PORT[,...]",
+        help="socket-backend worker endpoints "
+        "(start each with: python -m repro worker --serve HOST:PORT)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="socket backend: seconds before an unresponsive worker is "
+        "pinged and, absent a heartbeat, its scenarios requeued",
+    )
 
 
 def _profile_scenario(grid: ScenarioGrid, top: int) -> int:
@@ -281,16 +358,31 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         return _profile_scenario(grid, args.profile)
     store = ResultStore(args.store) if args.store else None
     try:
-        result = run_campaign(grid, store=store, workers=args.workers)
+        backend = _make_cli_backend(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    try:
+        result = run_campaign(
+            grid, store=store, workers=args.workers, backend=backend
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (BackendError, StoreLockError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if backend is not None:
+            backend.close()
     stats = result.stats
     print(
         f"campaign: {stats.total} scenarios | executed {stats.executed} | "
         f"cached {stats.cached} | deduplicated {stats.deduplicated} | "
         f"failed {stats.failed}"
     )
+    if backend is not None and backend.summary():
+        print(backend.summary())
     rows = result.ok_rows()
     if args.rows:
         print(format_table(rows, _ROW_COLUMNS, title="scenarios"))
@@ -313,19 +405,42 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_cli_backend(args: argparse.Namespace):
+    """Backend from ``--backend``/``--connect``; ``None`` keeps the
+    runner's historical workers-based default (serial or pool)."""
+    if args.backend == "auto" and not args.connect:
+        return None
+    return make_backend(
+        args.backend,
+        workers=args.workers,
+        connect=args.connect,
+        job_timeout=args.job_timeout,
+    )
+
+
 def _run_report_command(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     spec = paper_report_spec(args.scale)
     store_path = args.store or f"reports/campaign-{args.scale}.jsonl"
+    try:
+        backend = _make_cli_backend(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     with ResultStore(store_path) as store:
         print(f"report[{args.scale}]: store {store_path} holds "
               f"{len(store)} row(s)")
         try:
-            report = build_report(spec, store=store, workers=args.workers)
-        except RuntimeError as exc:
+            report = build_report(
+                spec, store=store, workers=args.workers, backend=backend
+            )
+        except (RuntimeError, StoreLockError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        finally:
+            if backend is not None:
+                backend.close()
         stats = report.stats
         print(
             f"report: {stats.total} scenarios | executed {stats.executed} | "
@@ -345,12 +460,116 @@ def _run_report_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_worker_command(args: argparse.Namespace) -> int:
+    from ..runtime.backends.worker import serve
+
+    try:
+        return serve(args.serve, die_after_jobs=args.die_after_jobs)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+@contextmanager
+def _locked_store(path: Any) -> Any:
+    """The store-maintenance writer-exclusion sequence, stated once: take
+    the exclusive lock *first*, then parse the file exactly once under it
+    (loading before the lock would let a concurrent writer's rows vanish
+    in the rewrite).  Releases the lock however the body exits."""
+    store = ResultStore(path, load=False)
+    store.acquire_lock()
+    try:
+        store.reload()
+        yield store
+    finally:
+        store.release_lock()
+
+
+def _store_counts(store: ResultStore) -> str:
+    return (
+        f"{store.total_lines} line(s) -> {len(store)} row(s) | "
+        f"{store.superseded_lines} superseded | "
+        f"{store.corrupt_lines} corrupt"
+    )
+
+
+def _run_store_command(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if args.store_command == "compact":
+        if not Path(args.path).exists():
+            print(f"error: no such store: {args.path}", file=sys.stderr)
+            return 2
+        if args.dry_run:
+            # Advisory counts only: no lock, no rewrite.
+            store = ResultStore(args.path)
+            print(f"store compact {args.path}: {_store_counts(store)}")
+            print("dry run: store unchanged")
+            return 0
+        try:
+            with _locked_store(args.path) as store:
+                print(f"store compact {args.path}: {_store_counts(store)}")
+                dropped = store.superseded_lines + store.corrupt_lines
+                store.compact()
+        except StoreLockError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"compacted: {len(store)} row(s), {dropped} line(s) dropped")
+        return 0
+    if args.store_command == "merge":
+        missing = [path for path in args.inputs if not Path(path).exists()]
+        if missing:
+            # A typo'd shard must not silently merge as an empty store.
+            print(f"error: no such store: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 2
+        sources = []
+        for path in args.inputs:
+            source = ResultStore(path)
+            sources.append(source)
+            print(f"store merge: {path}: {_store_counts(source)}")
+        added = overwritten = 0
+        if args.dry_run:
+            # Throwaway in-memory instance driven through the real merge
+            # rules, so advisory counts cannot drift from a real merge.
+            out = ResultStore(args.out)
+            before = len(out)
+            for source in sources:
+                got_added, got_overwritten = out.merge_from(
+                    source, dry_run=True
+                )
+                added += got_added
+                overwritten += got_overwritten
+            print(f"dry run: {args.out}: {before} existing + {added} new | "
+                  f"{overwritten} overwritten -> {len(out)} row(s)")
+            return 0
+        try:
+            with _locked_store(args.out) as out:
+                before = len(out)
+                for source in sources:
+                    got_added, got_overwritten = out.merge_from(source)
+                    added += got_added
+                    overwritten += got_overwritten
+                out.compact()
+        except StoreLockError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"merged into {args.out}: {before} existing + {added} new | "
+              f"{overwritten} overwritten -> {len(out)} row(s)")
+        return 0
+    raise AssertionError(args.store_command)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "campaign":
         return _run_campaign_command(args)
     if args.command == "report":
         return _run_report_command(args)
+    if args.command == "worker":
+        return _run_worker_command(args)
+    if args.command == "store":
+        return _run_store_command(args)
     common = dict(
         mode=getattr(args, "mode", UNAUTHENTICATED),
         generator=getattr(args, "generator", "concentrated"),

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..runtime.backends import Backend
 from ..runtime.runner import CampaignRunner, CampaignStats
 from ..runtime.scenario import ScenarioSpec
 from ..runtime.store import ResultStore
@@ -154,18 +155,21 @@ def table_rows(
     table: TableSpec,
     store: Optional[Union[str, ResultStore]] = None,
     workers: int = 1,
+    backend: Optional[Backend] = None,
 ) -> List[Row]:
     """Build one table's derived rows (convenience for single-table use)."""
     spec = ReportSpec(
         title=table.title, scale="adhoc", preamble="", tables=[table]
     )
-    return build_report(spec, store=store, workers=workers).tables[table.name]
+    built = build_report(spec, store=store, workers=workers, backend=backend)
+    return built.tables[table.name]
 
 
 def build_report(
     spec: ReportSpec,
     store: Optional[Union[str, ResultStore]] = None,
     workers: int = 1,
+    backend: Optional[Backend] = None,
 ) -> Report:
     """Materialize a :class:`ReportSpec` into measured rows and verdicts.
 
@@ -175,6 +179,12 @@ def build_report(
             the store are served without execution; missing scenarios are
             executed through :class:`CampaignRunner` and persisted.
         workers: worker-pool size for the missing scenarios.
+        backend: optional execution backend for the missing scenarios
+            (e.g. a connected :class:`SocketBackend
+            <repro.runtime.backends.SocketBackend>`); overrides
+            ``workers``.  The same interface serves campaigns and
+            reports, so a warm store renders identically whichever
+            backend filled it.
 
     Returns:
         A :class:`Report`; ``report.stats.executed`` is 0 when the store
@@ -186,7 +196,7 @@ def build_report(
     """
     if isinstance(store, str) or hasattr(store, "__fspath__"):
         store = ResultStore(store)
-    runner = CampaignRunner(store=store, workers=workers)
+    runner = CampaignRunner(store=store, workers=workers, backend=backend)
     result = runner.run(spec.scenarios()).raise_on_failure()
 
     tables: Dict[str, List[Row]] = {}

@@ -11,9 +11,15 @@ repository:
   keyed by scenario hash, tolerant of partial/corrupt lines, making
   campaigns resumable; iterable (``rows()``/``items()``) so the
   reporting query layer (:class:`repro.reporting.RowQuery`) can scan it;
-* :mod:`~repro.runtime.runner` -- :class:`CampaignRunner`, a
-  ``multiprocessing`` worker pool with chunked scheduling whose output is
-  bit-identical to a serial run;
+* :mod:`~repro.runtime.backends` -- pluggable execution backends behind
+  one :class:`Backend` contract: :class:`SerialBackend` (reference
+  semantics), :class:`PoolBackend` (``multiprocessing``), and
+  :class:`SocketBackend` (TCP workers started with ``python -m repro
+  worker``, with hash-space sharding, heartbeats, and dead-worker
+  requeue);
+* :mod:`~repro.runtime.runner` -- :class:`CampaignRunner`, the thin
+  orchestrator (store cache, dedup, ordering, writer lock) over any
+  backend; output is bit-identical whichever backend runs it;
 * :mod:`~repro.runtime.aggregate` -- group-by statistics, percentiles,
   and envelope checks shared by sweeps, Monte-Carlo, CLI, and benchmarks.
 """
@@ -26,6 +32,15 @@ from .aggregate import (
     percentile,
     summarize,
 )
+from .backends import (
+    Backend,
+    BackendError,
+    PoolBackend,
+    SerialBackend,
+    SocketBackend,
+    WorkerServer,
+    make_backend,
+)
 from .execute import run_scenario
 from .runner import CampaignResult, CampaignRunner, CampaignStats, run_campaign
 from .scenario import (
@@ -35,20 +50,28 @@ from .scenario import (
     default_t,
     pattern_inputs,
 )
-from .store import ResultStore
+from .store import ResultStore, StoreLockError
 
 __all__ = [
     "INPUT_PATTERNS",
+    "Backend",
+    "BackendError",
     "CampaignResult",
     "CampaignRunner",
     "CampaignStats",
+    "PoolBackend",
     "ResultStore",
+    "SerialBackend",
+    "SocketBackend",
+    "StoreLockError",
+    "WorkerServer",
     "ScenarioGrid",
     "ScenarioSpec",
     "agreement_rate",
     "check_envelopes",
     "default_t",
     "group_by",
+    "make_backend",
     "mean",
     "pattern_inputs",
     "percentile",

@@ -1,0 +1,59 @@
+"""Multiprocessing backend: the original ``CampaignRunner`` pool path.
+
+Extracted verbatim from the pre-backend runner so ``workers=N`` campaigns
+behave exactly as before: chunked ``imap_unordered`` scheduling over a
+``fork`` (default) or ``spawn`` context.  Scheduling order is irrelevant
+because rows are keyed by content hash and reassembled by the runner.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterator, List, Optional
+
+from .base import Backend, Job, JobResult, execute_job
+
+
+class PoolBackend(Backend):
+    """Execute jobs on a ``multiprocessing`` worker pool.
+
+    Args:
+        workers: pool size (>= 1; a 1-process pool is valid but
+            :class:`~repro.runtime.backends.serial.SerialBackend` is the
+            better choice there).
+        chunk_size: scenarios per pool task; defaults to an even split
+            across ``4 * workers`` chunks (bounded below by 1).
+        mp_context: start method; ``fork`` (default) keeps worker startup
+            cheap on Linux, ``spawn`` works everywhere.
+    """
+
+    name = "pool"
+    parallel = True
+    distributed = False
+
+    def __init__(
+        self,
+        workers: int = 2,
+        chunk_size: Optional[int] = None,
+        mp_context: str = "fork",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+
+    def submit(self, pending: List[Job]) -> Iterator[JobResult]:
+        """Yield pool results as they complete (unordered)."""
+        if not pending:
+            return
+        chunk = self.chunk_size or max(1, len(pending) // (4 * self.workers))
+        try:
+            ctx = multiprocessing.get_context(self.mp_context)
+        except ValueError:
+            ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=self.workers) as pool:
+            yield from pool.imap_unordered(execute_job, pending, chunksize=chunk)
+
+    def summary(self) -> str:
+        return f"pool: {self.workers} local worker process(es)"

@@ -1,0 +1,24 @@
+"""Reference backend: execute every scenario in-process, in order.
+
+The semantics baseline every other backend is measured against: the
+backend-equivalence tests assert that pool and socket campaigns are
+row-for-row identical to this one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .base import Backend, Job, JobResult, execute_job
+
+
+class SerialBackend(Backend):
+    """Run jobs one at a time in the calling process."""
+
+    name = "serial"
+    parallel = False
+    distributed = False
+
+    def submit(self, pending: List[Job]) -> Iterator[JobResult]:
+        """Yield results lazily so the runner stores rows as they finish."""
+        return map(execute_job, pending)

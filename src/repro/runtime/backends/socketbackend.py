@@ -1,0 +1,371 @@
+"""Socket backend: drive a fleet of TCP scenario workers.
+
+The driver connects to every ``HOST:PORT`` it was given, handshakes
+(protocol version check, see :mod:`~repro.runtime.backends.wire`), and
+shards the pending scenarios across the connected workers by content
+hash -- ``int(hash, 16) % workers`` -- so the assignment is deterministic
+for a given worker count and independent of dict/queue ordering.  One
+driver thread per worker keeps a small window of jobs in flight and
+enforces liveness:
+
+* a worker that closes its socket (killed process, network drop) is dead
+  immediately;
+* a worker that goes quiet past ``job_timeout`` is pinged; no frame
+  within ``ping_grace`` declares it dead (workers answer pings from a
+  dedicated reader thread even mid-execution, so a slow scenario alone
+  never trips this -- tune ``job_timeout`` to the slowest expected
+  scenario).
+
+Scenarios owned by a dead worker are requeued onto the survivors (again
+by hash), and results are deduplicated by scenario hash, so a campaign
+that loses workers yields exactly one row per scenario -- byte-identical
+to a serial run, because rows are pure functions of their specs.  Only
+losing *every* worker aborts the campaign.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .base import Backend, BackendError, Job, JobResult
+from .wire import (
+    PROTOCOL_VERSION,
+    FrameReceiver,
+    WireError,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+#: Sentinel telling a driver thread its worker has no further work.
+_DONE = object()
+
+
+class _WorkerLink:
+    """Driver-side state for one connected worker."""
+
+    def __init__(self, address: str, sock: socket.socket) -> None:
+        self.address = address
+        self.sock = sock
+        #: Resumable reader: heartbeat timeouts must not lose the bytes
+        #: of a result frame caught mid-flight (see ``wire.FrameReceiver``).
+        self.reader = FrameReceiver(sock)
+        self.jobs: "queue.Queue[Any]" = queue.Queue()
+        self.finishing = False
+        self.completed = 0
+
+    def drain_jobs(self) -> List[Job]:
+        """Empty the job queue, dropping ``_DONE`` sentinels.
+
+        Both salvage paths -- the driver thread's death report and the
+        main loop's handling of it -- must use this, so jobs requeued
+        onto a link in either window are never stranded unread.
+        """
+        drained: List[Job] = []
+        while True:
+            try:
+                job = self.jobs.get_nowait()
+            except queue.Empty:
+                return drained
+            if job is not _DONE:
+                drained.append(job)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _WorkerDied(Exception):
+    """Internal: the link's worker is unreachable or unresponsive."""
+
+
+class SocketBackend(Backend):
+    """Execute scenarios on remote ``python -m repro worker`` processes.
+
+    Args:
+        addresses: worker endpoints, as ``"host:port"`` strings or
+            ``(host, port)`` pairs.
+        job_timeout: seconds a job may be outstanding before the worker
+            is pinged.
+        ping_grace: seconds after a ping before the worker is declared
+            dead.
+        connect_timeout: handshake/connect deadline per worker.
+        window: jobs kept in flight per worker (pipelining hides the
+            request/response round trip).
+        require_all: with ``True``, fail fast if any address is
+            unreachable at submit time; the default tolerates unreachable
+            workers as long as at least one connects (they are listed in
+            :meth:`summary`).
+    """
+
+    name = "socket"
+    parallel = True
+    distributed = True
+
+    def __init__(
+        self,
+        addresses: Sequence[Union[str, Tuple[str, int]]],
+        job_timeout: float = 300.0,
+        ping_grace: float = 10.0,
+        connect_timeout: float = 10.0,
+        window: int = 2,
+        require_all: bool = False,
+    ) -> None:
+        if not addresses:
+            raise ValueError("socket backend needs at least one worker address")
+        self.addresses = [
+            addr if isinstance(addr, str) else f"{addr[0]}:{addr[1]}"
+            for addr in addresses
+        ]
+        if job_timeout <= 0 or ping_grace <= 0:
+            raise ValueError("timeouts must be positive")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.job_timeout = job_timeout
+        self.ping_grace = ping_grace
+        self.connect_timeout = connect_timeout
+        self.window = window
+        self.require_all = require_all
+        self.last_stats: Dict[str, Any] = {}
+
+    # -- connection setup ---------------------------------------------
+
+    def _connect(self, address: str) -> socket.socket:
+        host, port = parse_address(address)
+        sock = socket.create_connection((host, port), timeout=self.connect_timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            import os
+            send_frame(sock, {
+                "type": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "driver_pid": os.getpid(),
+            })
+            doc = recv_frame(sock)
+            if doc is None:
+                raise BackendError(f"worker {address} closed during handshake")
+            if doc["type"] == "error":
+                raise BackendError(
+                    f"worker {address} refused: {doc.get('reason', 'unknown')}"
+                )
+            if doc["type"] != "welcome" or doc.get("protocol") != PROTOCOL_VERSION:
+                raise BackendError(
+                    f"worker {address} spoke unexpected handshake {doc!r}"
+                )
+        except (WireError, OSError) as exc:
+            sock.close()
+            raise BackendError(f"handshake with {address} failed: {exc}") from exc
+        except BackendError:
+            sock.close()
+            raise
+        return sock
+
+    def _connect_all(self) -> Tuple[List[_WorkerLink], List[str]]:
+        links: List[_WorkerLink] = []
+        unreachable: List[str] = []
+        for address in self.addresses:
+            try:
+                sock = self._connect(address)
+            except (BackendError, OSError) as exc:
+                if self.require_all:
+                    for link in links:
+                        link.close()
+                    raise BackendError(
+                        f"worker {address} unreachable: {exc}"
+                    ) from exc
+                unreachable.append(address)
+                continue
+            links.append(_WorkerLink(address, sock))
+        if not links:
+            raise BackendError(
+                "no socket workers reachable: " + ", ".join(self.addresses)
+            )
+        return links, unreachable
+
+    # -- submit --------------------------------------------------------
+
+    def submit(self, pending: List[Job]) -> Iterator[JobResult]:
+        """Shard, stream, requeue, dedup; yields one result per key."""
+        if not pending:
+            return
+        links, unreachable = self._connect_all()
+        stats = self.last_stats = {
+            "workers": len(links),
+            "unreachable": unreachable,
+            "lost": 0,
+            "requeued": 0,
+            "duplicates": 0,
+            "per_worker": {},
+        }
+        for key, spec in pending:
+            links[_shard(key, len(links))].jobs.put((key, spec))
+
+        events: "queue.Queue[Tuple[str, _WorkerLink, Any]]" = queue.Queue()
+        threads = []
+        for link in links:
+            thread = threading.Thread(
+                target=self._drive, args=(link, events),
+                name=f"socket-driver:{link.address}", daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+
+        remaining = {key for key, _ in pending}
+        live: List[_WorkerLink] = list(links)
+        try:
+            while remaining:
+                kind, link, payload = events.get()
+                if kind == "result":
+                    key, ok, row = payload
+                    if key not in remaining:
+                        stats["duplicates"] += 1
+                        continue
+                    remaining.discard(key)
+                    link.completed += 1
+                    yield key, ok, row
+                elif kind == "dead":
+                    live = [peer for peer in live if peer is not link]
+                    link.close()
+                    stats["lost"] += 1
+                    # The driver thread drained its queue before posting
+                    # this event, but if another worker died first, this
+                    # loop may have requeued jobs onto the link in that
+                    # window -- jobs no thread will ever read.  Requeue
+                    # puts happen only on this thread, so draining here,
+                    # after removing the link from ``live``, is final.
+                    salvaged = list(payload) + link.drain_jobs()
+                    leftovers = [
+                        job for job in salvaged if job[0] in remaining
+                    ]
+                    if not live:
+                        raise BackendError(
+                            f"all {len(links)} socket worker(s) died with "
+                            f"{len(remaining)} scenario(s) unfinished"
+                        )
+                    for key, spec in leftovers:
+                        live[_shard(key, len(live))].jobs.put((key, spec))
+                    stats["requeued"] += len(leftovers)
+        finally:
+            for link in live:
+                link.jobs.put(_DONE)
+            for thread in threads:
+                thread.join(timeout=self.ping_grace)
+            for link in links:
+                link.close()
+            stats["per_worker"] = {
+                link.address: link.completed for link in links
+            }
+
+    def summary(self) -> str:
+        stats = self.last_stats
+        if not stats:
+            return f"socket: {len(self.addresses)} worker(s) configured"
+        parts = [f"socket: {stats['workers']} worker(s)"]
+        if stats["unreachable"]:
+            parts.append(f"{len(stats['unreachable'])} unreachable "
+                         f"({', '.join(stats['unreachable'])})")
+        if stats["lost"]:
+            parts.append(f"{stats['lost']} lost mid-campaign")
+        if stats["requeued"]:
+            parts.append(f"{stats['requeued']} scenario(s) requeued")
+        if stats["duplicates"]:
+            parts.append(f"{stats['duplicates']} duplicate result(s) dropped")
+        completed = ", ".join(
+            f"{addr}={count}" for addr, count in stats["per_worker"].items()
+        )
+        if completed:
+            parts.append(f"completed {completed}")
+        return " | ".join(parts)
+
+    # -- per-worker driver thread -------------------------------------
+
+    def _drive(
+        self,
+        link: _WorkerLink,
+        events: "queue.Queue[Tuple[str, _WorkerLink, Any]]",
+    ) -> None:
+        inflight: Dict[str, Job] = {}
+        try:
+            while True:
+                self._fill_window(link, inflight)
+                if link.finishing and not inflight:
+                    self._farewell(link)
+                    return
+                doc = self._await_frame(link)
+                if doc["type"] == "result":
+                    key = doc.get("key")
+                    job = inflight.pop(key, None)
+                    if job is not None:
+                        events.put((
+                            "result", link,
+                            (key, bool(doc.get("ok")), doc.get("row") or {}),
+                        ))
+                # pongs and unknown types just prove liveness
+        except Exception:  # noqa: BLE001 - any escape means this link is
+            # done; anything short of reporting it dead would leave its
+            # in-flight scenarios unresolved and submit() blocked forever.
+            leftovers = list(inflight.values()) + link.drain_jobs()
+            events.put(("dead", link, leftovers))
+
+    def _fill_window(self, link: _WorkerLink, inflight: Dict[str, Job]) -> None:
+        """Top up the in-flight window; block only when truly idle."""
+        while not link.finishing and len(inflight) < self.window:
+            try:
+                job = link.jobs.get(block=not inflight)
+            except queue.Empty:
+                return
+            if job is _DONE:
+                link.finishing = True
+                return
+            key, spec = job
+            try:
+                send_frame(link.sock, {
+                    "type": "job", "key": key, "spec": spec.canonical(),
+                })
+            except OSError as exc:
+                inflight[key] = job  # count it as lost in-flight work
+                raise _WorkerDied(str(exc)) from exc
+            inflight[key] = job
+
+    def _await_frame(self, link: _WorkerLink) -> Dict[str, Any]:
+        """One frame from the worker, with ping-based liveness checking.
+
+        Reads go through the link's :class:`FrameReceiver
+        <repro.runtime.backends.wire.FrameReceiver>`, so a timeout that
+        lands mid-frame keeps the partial bytes buffered -- the follow-up
+        read after the ping resumes the same frame instead of desyncing.
+        """
+        link.sock.settimeout(self.job_timeout)
+        try:
+            doc = link.reader.recv()
+        except socket.timeout:
+            doc = self._ping(link)
+        except (WireError, OSError) as exc:
+            raise _WorkerDied(str(exc)) from exc
+        if doc is None:
+            raise _WorkerDied("connection closed")
+        return doc
+
+    def _ping(self, link: _WorkerLink) -> Optional[Dict[str, Any]]:
+        try:
+            send_frame(link.sock, {"type": "ping"})
+            link.sock.settimeout(self.ping_grace)
+            return link.reader.recv()
+        except (socket.timeout, WireError, OSError) as exc:
+            raise _WorkerDied(f"no heartbeat: {exc}") from exc
+
+    def _farewell(self, link: _WorkerLink) -> None:
+        try:
+            send_frame(link.sock, {"type": "bye"})
+        except OSError:
+            pass
+
+
+def _shard(key: str, workers: int) -> int:
+    """Deterministic hash-space shard of scenario ``key`` (sha256 hex)."""
+    return int(key[:16], 16) % workers

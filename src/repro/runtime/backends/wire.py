@@ -1,0 +1,173 @@
+"""Framing and message vocabulary for the socket backend.
+
+Wire format: each frame is a 4-byte big-endian length prefix followed by
+that many bytes of UTF-8 JSON.  JSON keeps the protocol debuggable with
+``nc``/``tcpdump`` and version-skew tolerant (unknown fields are
+ignored); the length prefix makes frames self-delimiting over TCP's byte
+stream.  Frames are small (a scenario spec or one result row), so the
+cap below is generous.
+
+Message vocabulary (the ``type`` field):
+
+===========  =========  ===================================================
+type         direction  meaning
+===========  =========  ===================================================
+``hello``    driver →   handshake: ``protocol`` version, driver pid
+``welcome``  → driver   handshake accepted: ``protocol`` version, worker pid
+``error``    → driver   handshake refused (e.g. version skew); body says why
+``job``      driver →   ``key`` (scenario hash) + ``spec`` (canonical dict)
+``result``   → driver   ``key``, ``ok``, ``row`` (see ``execute_job``)
+``ping``     driver →   liveness probe while a job is outstanding
+``pong``     → driver   liveness answer (sent even mid-execution)
+``bye``      driver →   orderly end of session; worker closes the socket
+===========  =========  ===================================================
+
+Bump :data:`PROTOCOL_VERSION` on any incompatible change; the handshake
+refuses mismatched peers on both sides, so a stale worker fails loudly at
+connect time instead of corrupting a campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+#: Handshake version; mismatched driver/worker pairs refuse to talk.
+PROTOCOL_VERSION = 1
+
+#: Frame length prefix: 4-byte unsigned big-endian.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's JSON body (defense against garbage peers).
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+
+class WireError(RuntimeError):
+    """The peer violated the framing or message protocol."""
+
+
+def send_frame(sock: socket.socket, doc: Dict[str, Any]) -> None:
+    """Serialize ``doc`` and write one length-prefixed frame."""
+    body = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds cap")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on orderly EOF at a frame boundary.
+
+    Raises :class:`WireError` on torn frames (EOF mid-frame), oversized
+    lengths, or non-JSON/non-object bodies.  A ``socket.timeout`` mid-read
+    discards any partially consumed bytes and desynchronises the stream --
+    only call this on sockets with no read timeout (or where a timeout
+    already means the peer is abandoned, as in handshakes); timeout-driven
+    callers that retry must use :class:`FrameReceiver` instead.
+    """
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds cap")
+    body = _recv_exact(sock, length, eof_ok=False)
+    return _decode_body(body)
+
+
+class FrameReceiver:
+    """Resumable frame reader: a ``socket.timeout`` preserves the frame.
+
+    :func:`recv_frame` keeps partially read bytes in locals, so a socket
+    timeout mid-frame (a result row straggling across TCP segments just
+    as the driver's ``job_timeout`` expires) would lose them and make the
+    next read misparse body bytes as a length prefix -- killing a healthy
+    worker over a ``WireError``.  This class buffers header and body
+    bytes across calls: when :meth:`recv` raises ``socket.timeout`` the
+    caller can ping the peer and simply call :meth:`recv` again, resuming
+    exactly where the stream stopped.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._buffer = bytearray()
+        self._length: Optional[int] = None  # parsed header awaiting body
+
+    def recv(self) -> Optional[Dict[str, Any]]:
+        """One frame; ``None`` on orderly EOF at a frame boundary.
+
+        Same contract as :func:`recv_frame` except that a
+        ``socket.timeout`` leaves the partial frame buffered for the next
+        call instead of corrupting the stream position.
+        """
+        if self._length is None:
+            if not self._fill(_HEADER.size, eof_ok=True):
+                return None
+            (length,) = _HEADER.unpack(bytes(self._buffer[: _HEADER.size]))
+            if length > MAX_FRAME_BYTES:
+                raise WireError(f"frame length {length} exceeds cap")
+            del self._buffer[: _HEADER.size]
+            self._length = length
+        self._fill(self._length, eof_ok=False)
+        body = bytes(self._buffer[: self._length])
+        del self._buffer[: self._length]
+        self._length = None
+        return _decode_body(body)
+
+    def _fill(self, count: int, eof_ok: bool) -> bool:
+        """Buffer at least ``count`` bytes; ``False`` on EOF before the
+        first byte if ``eof_ok`` (a frame boundary), :class:`WireError`
+        on any other EOF.  ``socket.timeout`` propagates with the buffer
+        intact."""
+        while len(self._buffer) < count:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                if eof_ok and not self._buffer:
+                    return False
+                raise WireError(
+                    f"connection closed mid-frame "
+                    f"({len(self._buffer)}/{count} bytes)"
+                )
+            self._buffer.extend(chunk)
+        return True
+
+
+def _decode_body(body: bytes) -> Dict[str, Any]:
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from exc
+    if not isinstance(doc, dict) or not isinstance(doc.get("type"), str):
+        raise WireError("frame is not a typed JSON object")
+    return doc
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, eof_ok: bool
+) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on immediate EOF if allowed."""
+    chunks = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(min(65536, count - got))
+        if not chunk:
+            if eof_ok and got == 0:
+                return None
+            raise WireError(
+                f"connection closed mid-frame ({got}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def parse_address(text: str) -> tuple:
+    """Parse ``HOST:PORT`` into ``(host, port)`` (IPv4/hostname form)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"invalid port in {text!r}") from None

@@ -1,0 +1,285 @@
+"""TCP scenario worker: the serving half of the socket backend.
+
+``python -m repro worker --serve HOST:PORT`` runs one of these.  A worker
+is stateless between jobs -- every scenario row is a pure function of its
+spec -- so any number of workers can serve any number of campaigns, and a
+killed worker costs nothing but the requeue of its in-flight scenarios.
+
+Each accepted connection gets two threads:
+
+* a *reader* that owns ``recv`` -- it answers ``ping`` frames immediately
+  (even while a scenario is executing, which is what makes the driver's
+  heartbeat meaningful) and feeds ``job`` frames to
+* an *executor* that runs scenarios one at a time and streams ``result``
+  frames back under a send lock.
+
+Failure injection: ``die_after_jobs=N`` makes the worker drop the
+connection -- and stop serving -- immediately after accepting its
+``N+1``-th job, without replying.  Tests and the CI ``backend-smoke`` job
+use it to prove that campaigns survive a worker dying mid-run.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from ..scenario import ScenarioSpec
+from .base import execute_job
+from .wire import PROTOCOL_VERSION, WireError, recv_frame, send_frame
+
+
+class WorkerServer:
+    """Serve scenario executions over TCP.
+
+    Args:
+        host: interface to bind (default loopback).
+        port: port to bind; ``0`` picks a free port (see :attr:`port`).
+        die_after_jobs: failure injection -- accept this many jobs, then
+            drop dead (``None`` disables).
+        log: optional ``print``-like callable for one-line status output.
+    """
+
+    #: Seconds a fresh connection gets to complete the hello/welcome
+    #: exchange; a peer that connects and never speaks (port scanner,
+    #: hung driver) is dropped instead of pinning a thread and fd.
+    HANDSHAKE_TIMEOUT = 30.0
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        die_after_jobs: Optional[int] = None,
+        log: Optional[Any] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.die_after_jobs = die_after_jobs
+        self.log = log or (lambda *_: None)
+        self.jobs_done = 0
+        self.sessions = 0
+        self._jobs_seen = 0
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, and accept in a background thread (for tests and
+        embedded use); returns the bound ``(host, port)``."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(8)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"worker-accept:{self.port}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        self.log(f"worker listening on {self.host}:{self.port}")
+        return self.host, self.port
+
+    def serve_forever(self) -> None:
+        """Blocking form of :meth:`start` (the CLI entry point)."""
+        if self._listener is None:
+            self.start()
+        self._stopping.wait()
+
+    def stop(self) -> None:
+        """Stop accepting and wake :meth:`serve_forever`."""
+        self._stopping.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+
+    @property
+    def address(self) -> str:
+        """The ``HOST:PORT`` string drivers pass to ``--connect``."""
+        return f"{self.host}:{self.port}"
+
+    def __enter__(self) -> "WorkerServer":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- serving -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                conn, peer = listener.accept()
+            except OSError:
+                if self._stopping.is_set() or self._listener is None:
+                    return  # listener closed by stop()
+                # Transient accept failure (peer reset between SYN and
+                # accept, fd exhaustion): keep serving -- exiting here
+                # would deafen a live worker forever.  The brief wait
+                # keeps an EMFILE storm from spinning the loop.
+                self._stopping.wait(0.05)
+                continue
+            self.sessions += 1
+            threading.Thread(
+                target=self._serve_connection, args=(conn, peer),
+                name=f"worker-conn:{peer}", daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket, peer: Any) -> None:
+        _enable_keepalive(conn)
+        send_lock = threading.Lock()
+        jobs: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue()
+        executor = threading.Thread(
+            target=self._execute_loop, args=(conn, send_lock, jobs),
+            name=f"worker-exec:{peer}", daemon=True,
+        )
+        executor.start()
+        try:
+            conn.settimeout(self.HANDSHAKE_TIMEOUT)
+            if not self._handshake(conn, send_lock):
+                return
+            conn.settimeout(None)  # drivers go quiet while we execute
+            while True:
+                doc = recv_frame(conn)
+                if doc is None or doc["type"] == "bye":
+                    return
+                if doc["type"] == "ping":
+                    with send_lock:
+                        send_frame(conn, {"type": "pong"})
+                elif doc["type"] == "job":
+                    if self._should_die():
+                        self.log(f"worker {self.address}: injected death")
+                        self.stop()
+                        return  # finally: abrupt close, no reply
+                    jobs.put(doc)
+                # unknown types are ignored (forward compatibility)
+        except (WireError, OSError):
+            pass  # peer vanished or spoke garbage: drop the session
+        finally:
+            jobs.put(None)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handshake(self, conn: socket.socket, send_lock: threading.Lock) -> bool:
+        doc = recv_frame(conn)
+        if doc is None or doc.get("type") != "hello":
+            return False
+        if doc.get("protocol") != PROTOCOL_VERSION:
+            with send_lock:
+                send_frame(conn, {
+                    "type": "error",
+                    "reason": f"protocol version mismatch: worker speaks "
+                              f"{PROTOCOL_VERSION}, driver spoke "
+                              f"{doc.get('protocol')!r}",
+                })
+            return False
+        import os
+        with send_lock:
+            send_frame(conn, {
+                "type": "welcome",
+                "protocol": PROTOCOL_VERSION,
+                "worker_pid": os.getpid(),
+            })
+        return True
+
+    def _should_die(self) -> bool:
+        if self.die_after_jobs is None:
+            return False
+        with self._lock:
+            self._jobs_seen += 1
+            return self._jobs_seen > self.die_after_jobs
+
+    def _execute_loop(
+        self,
+        conn: socket.socket,
+        send_lock: threading.Lock,
+        jobs: "queue.Queue[Optional[Dict[str, Any]]]",
+    ) -> None:
+        while True:
+            doc = jobs.get()
+            if doc is None:
+                return
+            key, ok, row = self._run_job(doc)
+            self.jobs_done += 1
+            try:
+                with send_lock:
+                    send_frame(
+                        conn,
+                        {"type": "result", "key": key, "ok": ok, "row": row},
+                    )
+            except OSError:
+                return  # driver went away; nothing to report to
+
+    def _run_job(self, doc: Dict[str, Any]) -> Tuple[str, bool, Dict[str, Any]]:
+        """Rebuild the spec, cross-check its content hash, execute."""
+        key = doc.get("key")
+        try:
+            spec = ScenarioSpec.from_dict(doc["spec"])
+        except Exception as exc:  # noqa: BLE001 - reported to the driver
+            return key, False, {"error": f"bad spec: {type(exc).__name__}: {exc}"}
+        if spec.scenario_hash() != key:
+            # Version skew in hashing would silently mis-key the store;
+            # refuse instead.
+            return key, False, {
+                "error": f"hash mismatch: driver sent {key[:12]}..., spec "
+                         f"hashes to {spec.scenario_hash()[:12]}...",
+            }
+        return execute_job((key, spec))
+
+
+def serve(address: str, die_after_jobs: Optional[int] = None) -> int:
+    """CLI entry: serve on ``HOST:PORT`` until interrupted (or dead)."""
+    from .wire import parse_address
+
+    host, port = parse_address(address)
+    server = WorkerServer(host=host, port=port,
+                          die_after_jobs=die_after_jobs, log=_log_flush)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+def _log_flush(message: str) -> None:
+    print(message, flush=True)
+
+
+def _enable_keepalive(conn: socket.socket) -> None:
+    """Arm TCP keepalive on an accepted driver connection.
+
+    After the handshake the worker reads with no timeout (drivers go
+    quiet while scenarios execute), so a driver host that crashes or
+    partitions without delivering a FIN/RST would otherwise pin this
+    session's reader thread, executor thread, and fd forever.  Keepalive
+    makes the kernel probe the half-open peer and fail the blocked
+    ``recv`` within a couple of minutes, letting the session clean up.
+    The probe knobs are Linux-specific; elsewhere the OS defaults apply.
+    """
+    try:
+        conn.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+        for name, value in (
+            ("TCP_KEEPIDLE", 60),   # seconds idle before the first probe
+            ("TCP_KEEPINTVL", 15),  # seconds between probes
+            ("TCP_KEEPCNT", 4),     # failed probes before reset
+        ):
+            option = getattr(socket, name, None)
+            if option is not None:
+                conn.setsockopt(socket.IPPROTO_TCP, option, value)
+    except OSError:
+        pass  # keepalive is a hardening measure, never worth a refusal

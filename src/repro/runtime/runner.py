@@ -1,39 +1,39 @@
-"""Campaign runner: execute scenario sets on a worker pool, resumably.
+"""Campaign runner: orchestrate scenario sets over pluggable backends.
 
 :class:`CampaignRunner` takes any iterable of scenarios (typically a
 :class:`~repro.runtime.scenario.ScenarioGrid`), splits it into cached and
 pending work against an optional :class:`~repro.runtime.store.ResultStore`,
-executes the pending scenarios -- serially or on a ``multiprocessing``
-pool with chunked scheduling -- and reassembles rows in scenario order.
+hands the pending set to an execution :class:`Backend
+<repro.runtime.backends.Backend>` -- in-process serial, a
+``multiprocessing`` pool, or TCP socket workers -- and reassembles rows
+in scenario order.
 
 Determinism contract: every scenario's row is a pure function of its spec
 (see :mod:`repro.runtime.execute`), duplicate specs are executed once, and
-results are keyed by content hash, so ``workers=N`` is row-for-row
-identical to ``workers=1`` regardless of pool scheduling.  Failures never
-poison the cache: a scenario that raises yields an ``error`` row that is
-reported but not stored, so the next run retries it.
+results are keyed by content hash, so every backend is row-for-row
+identical to a serial run regardless of scheduling, sharding, or worker
+deaths.  Failures never poison the cache: a scenario that raises yields an
+``error`` row that is reported but not stored, so the next run retries it.
+
+Writer exclusion: when a store is attached and there is pending work,
+:meth:`CampaignRunner.run` holds the store's exclusive lockfile for the
+duration of execution (see :meth:`ResultStore.acquire_lock
+<repro.runtime.store.ResultStore.acquire_lock>`), so two campaigns
+pointed at one JSONL cannot interleave partial lines; the second fails
+fast with :class:`~repro.runtime.store.StoreLockError`.  Read-only probes
+(:meth:`CampaignRunner.pending`) never take the lock.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-from .execute import run_scenario
+from .backends import Backend, PoolBackend, SerialBackend
 from .scenario import ScenarioGrid, ScenarioSpec
 from .store import ResultStore
 
 ScenarioSource = Union[ScenarioGrid, Iterable[ScenarioSpec]]
-
-
-def _execute_job(job: Tuple[str, ScenarioSpec]) -> Tuple[str, bool, Dict[str, Any]]:
-    """Pool worker: returns ``(hash, ok, row-or-error)``."""
-    key, spec = job
-    try:
-        return key, True, run_scenario(spec)
-    except Exception as exc:  # noqa: BLE001 - reported as a failed row
-        return key, False, {"error": f"{type(exc).__name__}: {exc}"}
 
 
 @dataclass
@@ -79,16 +79,26 @@ class CampaignResult:
 
 
 class CampaignRunner:
-    """Run scenario campaigns with caching and optional parallelism.
+    """Run scenario campaigns with caching over a pluggable backend.
 
     Args:
         store: optional result store; cached scenarios are not re-executed
             and fresh rows are persisted as they complete.
-        workers: pool size; ``1`` (the default) runs in-process.
-        chunk_size: scenarios per pool task; defaults to an even split
-            across ``4 * workers`` chunks (bounded below by 1).
-        mp_context: multiprocessing start method; ``fork`` (default) keeps
-            worker startup cheap on Linux, ``spawn`` works everywhere.
+        workers: pool size when no explicit ``backend`` is given; ``1``
+            (the default) runs in-process via :class:`SerialBackend`,
+            ``N > 1`` builds a :class:`PoolBackend`.
+        chunk_size: scenarios per pool task (default-backend path only).
+        mp_context: multiprocessing start method (default-backend path
+            only); ``fork`` (default) keeps worker startup cheap on
+            Linux, ``spawn`` works everywhere.
+        backend: explicit execution backend (e.g. a :class:`SocketBackend
+            <repro.runtime.backends.SocketBackend>` connected to remote
+            workers).  The runner never closes a caller-supplied backend,
+            so one backend can serve many campaigns; backends the runner
+            builds itself from ``workers`` are torn down per run.
+        lock: take the store's exclusive writer lockfile around execution
+            (on by default; disable only for stores with external
+            single-writer guarantees).
     """
 
     def __init__(
@@ -97,6 +107,8 @@ class CampaignRunner:
         workers: int = 1,
         chunk_size: Optional[int] = None,
         mp_context: str = "fork",
+        backend: Optional[Backend] = None,
+        lock: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -104,6 +116,8 @@ class CampaignRunner:
         self.workers = workers
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        self.backend = backend
+        self.lock = lock
 
     def run(self, scenarios: ScenarioSource) -> CampaignResult:
         """Execute a campaign; returns rows in scenario order."""
@@ -115,16 +129,33 @@ class CampaignRunner:
         stats.cached = len(results)
         stats.deduplicated = len(keyed) - len(results) - len(pending)
 
-        for key, ok, row in self._execute(pending):
-            results[key] = row
-            if ok:
-                stats.executed += 1
-                if self.store is not None:
-                    self.store.put(key, row)
-            else:
-                stats.failed += 1
-        if self.store is not None:
-            self.store.sync()
+        backend, owned = self._resolve_backend()
+        locked = self.lock and self.store is not None and bool(pending)
+        if locked:
+            self.store.acquire_lock()
+            # Another campaign may have appended rows between our store
+            # snapshot and winning the lock; re-split against the on-disk
+            # truth so its work is served, not re-executed and re-stored.
+            self.store.reload()
+            results, pending = self._split(keyed)
+            stats.cached = len(results)
+            stats.deduplicated = len(keyed) - len(results) - len(pending)
+        try:
+            for key, ok, row in backend.submit(pending):
+                results[key] = row
+                if ok:
+                    stats.executed += 1
+                    if self.store is not None:
+                        self.store.put(key, row)
+                else:
+                    stats.failed += 1
+            if self.store is not None:
+                self.store.sync()
+        finally:
+            if locked:
+                self.store.release_lock()
+            if owned:
+                backend.close()
 
         rows = [results[key] for key, _ in keyed]
         return CampaignResult(rows=rows, stats=stats)
@@ -136,7 +167,9 @@ class CampaignRunner:
         store already holds, without executing anything -- a cheap probe
         of how much of a campaign a warm store covers before committing
         to the run.  Shares :meth:`run`'s partition logic, so the two can
-        never disagree about the work set.
+        never disagree about the work set.  Read-only: never takes the
+        store's writer lock (a concurrent :meth:`run` in another process
+        may append more rows, so treat the answer as an upper bound).
         """
         keyed = [
             (spec.scenario_hash(), spec)
@@ -144,6 +177,21 @@ class CampaignRunner:
         ]
         _, pending = self._split(keyed)
         return [spec for _, spec in pending]
+
+    def _resolve_backend(self) -> Tuple[Backend, bool]:
+        """The backend to submit to, plus whether this run owns it."""
+        if self.backend is not None:
+            return self.backend, False
+        if self.workers == 1:
+            return SerialBackend(), True
+        return (
+            PoolBackend(
+                workers=self.workers,
+                chunk_size=self.chunk_size,
+                mp_context=self.mp_context,
+            ),
+            True,
+        )
 
     def _split(
         self, keyed: List[Tuple[str, ScenarioSpec]]
@@ -170,28 +218,6 @@ class CampaignRunner:
             return scenarios.expand()
         return [spec.validate() for spec in scenarios]
 
-    def _execute(
-        self, pending: List[Tuple[str, ScenarioSpec]]
-    ) -> Iterator[Tuple[str, bool, Dict[str, Any]]]:
-        if not pending:
-            return iter(())
-        if self.workers == 1:
-            return map(_execute_job, pending)
-        return self._execute_pool(pending)
-
-    def _execute_pool(
-        self, pending: List[Tuple[str, ScenarioSpec]]
-    ) -> Iterator[Tuple[str, bool, Dict[str, Any]]]:
-        chunk = self.chunk_size or max(1, len(pending) // (4 * self.workers))
-        try:
-            ctx = multiprocessing.get_context(self.mp_context)
-        except ValueError:
-            ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=self.workers) as pool:
-            # imap_unordered: scheduling order is irrelevant because rows
-            # are keyed by content hash and reassembled in scenario order.
-            yield from pool.imap_unordered(_execute_job, pending, chunksize=chunk)
-
 
 def run_campaign(
     scenarios: ScenarioSource,
@@ -199,9 +225,12 @@ def run_campaign(
     store: Optional[Union[str, ResultStore]] = None,
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    backend: Optional[Backend] = None,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignRunner`."""
     if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
         store = ResultStore(store)
-    runner = CampaignRunner(store=store, workers=workers, chunk_size=chunk_size)
+    runner = CampaignRunner(
+        store=store, workers=workers, chunk_size=chunk_size, backend=backend
+    )
     return runner.run(scenarios)

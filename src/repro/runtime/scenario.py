@@ -126,6 +126,31 @@ class ScenarioSpec:
         doc["inputs"] = list(self.inputs) if self.inputs is not None else None
         return doc
 
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a validated spec from its :meth:`canonical` dict.
+
+        The inverse of :meth:`canonical` modulo JSON's tuple/list
+        conflation (``arms``/``faulty``/``inputs`` come back as lists and
+        are re-frozen here), so ``from_dict(spec.canonical())`` has the
+        same content hash as ``spec`` -- which is what lets the socket
+        backend ship specs over the wire and workers cross-check the
+        driver's scenario key.  Unknown fields raise: a driver/worker
+        version skew must fail loudly, not drop identity-bearing state.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        doc = dict(doc)
+        if "arms" in doc:
+            doc["arms"] = tuple(doc["arms"])
+        if doc.get("faulty") is not None:
+            doc["faulty"] = tuple(doc["faulty"])
+        if doc.get("inputs") is not None:
+            doc["inputs"] = tuple(doc["inputs"])
+        return cls(**doc).validate()
+
     def scenario_hash(self) -> str:
         """Content address: sha256 over the canonical JSON encoding."""
         blob = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))

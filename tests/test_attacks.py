@@ -156,3 +156,52 @@ class TestStallingAdversaryContract:
         )
         assert report.agreed
         assert report.decision == 7
+
+
+class TestMutatingAdversary:
+    """The cache-aware `mutating` strategy: replay honest payloads, then
+    mutate the sent objects in place -- an end-to-end probe of the
+    PR 2 immutability gate (positive verdicts cached only for deeply
+    immutable objects; see repro.perf)."""
+
+    def fingerprint(self, cache):
+        from repro.adversary.registry import make_adversary
+
+        report = repro.solve(
+            7, 2, [0, 0, 0, 1, 1, 0, 1], faulty_ids=[5, 6],
+            adversary=make_adversary("mutating"), mode="authenticated",
+            key_seed=9, cache=cache,
+        )
+        return (
+            sorted(report.decisions.items()), report.rounds,
+            report.messages, report.bits, report.agreed,
+        )
+
+    def test_agreement_survives_in_both_modes(self):
+        from repro.adversary.registry import make_adversary
+
+        for mode in ("unauthenticated", "authenticated"):
+            report = repro.solve(
+                7, 2, [pid % 2 for pid in range(7)], faulty_ids=[5, 6],
+                adversary=make_adversary("mutating"), mode=mode,
+            )
+            assert report.agreed
+
+    def test_cached_and_uncached_executions_identical(self):
+        """If the immutability gate ever served a stale positive verdict
+        for a mutated object, the cached run would diverge from the
+        uncached seed path -- they must stay bit-identical."""
+        cached = self.fingerprint(cache=True)
+        uncached = self.fingerprint(cache=False)
+        assert cached == uncached
+        assert cached[-1] is True  # and the execution itself agreed
+
+    def test_registered_and_campaign_runnable(self):
+        from repro.adversary.registry import adversary_names
+        from repro.runtime import ScenarioSpec, run_scenario
+
+        assert "mutating" in adversary_names()
+        spec = ScenarioSpec(n=6, t=1, f=1, budget=2, adversary="mutating")
+        row = run_scenario(spec)
+        assert row["agreed"] and row["valid"]
+        assert row == run_scenario(spec)  # deterministic like any other

@@ -289,12 +289,14 @@ class TestCampaignRunner:
 
     def test_run_trials_raises_instead_of_skewing_stats(self, monkeypatch):
         from repro.experiments import montecarlo
-        from repro.runtime import runner as runner_module
+        from repro.runtime.backends import base as backends_base
 
         def boom(spec):
             raise RuntimeError("boom")
 
-        monkeypatch.setattr(runner_module, "run_scenario", boom)
+        # backends.base.execute_job is the single execution entry shared
+        # by every backend; patching its run_scenario covers them all.
+        monkeypatch.setattr(backends_base, "run_scenario", boom)
         with pytest.raises(RuntimeError, match="boom"):
             montecarlo.run_trials(7, 2, trials=2, seed=1)
 
