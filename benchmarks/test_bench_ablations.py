@@ -14,9 +14,8 @@ workloads: perfect predictions with many faults, and fully-hidden faults.
 
 import pytest
 
-import repro
+from repro.api import Experiment
 from repro.adversary import StallingAdversary
-from repro.core.api import solve_without_predictions
 
 from conftest import hiding_assignment, print_table
 
@@ -36,12 +35,14 @@ def run_matrix():
     for workload, hide in (("B=0 (perfect)", 0), ("B=max (hidden)", F)):
         predictions = hiding_assignment(N, FAULTY, hide)
         for name, arms in VARIANTS:
-            report = repro.solve(
-                N, T, INPUTS,
-                faulty_ids=FAULTY,
-                adversary=StallingAdversary(0, 1),
-                predictions=predictions,
-                arms=arms,
+            report = (
+                Experiment(n=N, t=T)
+                .with_inputs(INPUTS)
+                .with_faults(faulty=FAULTY)
+                .with_adversary(StallingAdversary(0, 1))
+                .with_predictions(predictions)
+                .with_arms(*arms)
+                .solve_one()
             )
             rows.append(
                 {
@@ -52,9 +53,12 @@ def run_matrix():
                     "messages": report.messages,
                 }
             )
-        baseline = solve_without_predictions(
-            N, T, INPUTS, faulty_ids=FAULTY,
-            adversary=StallingAdversary(0, 1),
+        baseline = (
+            Experiment(n=N, t=T)
+            .with_inputs(INPUTS)
+            .with_faults(faulty=FAULTY)
+            .with_adversary(StallingAdversary(0, 1))
+            .baseline()
         )
         rows.append(
             {

@@ -12,7 +12,7 @@ plus the classic Dolev-Strong comparison on the broadcast side
 import pytest
 
 from repro.adversary import StallingAdversary
-from repro.core.api import solve_without_predictions
+from repro.api import Experiment
 
 from conftest import print_table
 
@@ -24,9 +24,12 @@ def run_sweep():
     rows = []
     for f in (0, 2, 4, 6, 8):
         faulty = list(range(f))
-        report = solve_without_predictions(
-            N, T, INPUTS, faulty_ids=faulty,
-            adversary=StallingAdversary(0, 1),
+        report = (
+            Experiment(n=N, t=T)
+            .with_inputs(INPUTS)
+            .with_faults(faulty=faulty)
+            .with_adversary(StallingAdversary(0, 1))
+            .baseline()
         )
         assert report.agreed
         rows.append(

@@ -11,7 +11,7 @@ by the predictions, stalling adversary) and sweeps ``n``, verifying that
 
 import pytest
 
-import repro
+from repro.api import Experiment
 from repro.adversary import StallingAdversary
 from repro.predictions import count_errors
 
@@ -27,11 +27,13 @@ def run_sweep():
         honest = [pid for pid in range(n) if pid >= f]
         predictions = hiding_assignment(n, faulty, f)
         budget = count_errors(predictions, honest).total
-        report = repro.solve(
-            n, t, [pid % 2 for pid in range(n)],
-            faulty_ids=faulty,
-            adversary=StallingAdversary(0, 1),
-            predictions=predictions,
+        report = (
+            Experiment(n=n, t=t)
+            .with_inputs([pid % 2 for pid in range(n)])
+            .with_faults(faulty=faulty)
+            .with_adversary(StallingAdversary(0, 1))
+            .with_predictions(predictions)
+            .solve_one()
         )
         assert report.agreed
         rows.append(

@@ -15,7 +15,7 @@ identify the faults, stepping up to the early-stopping ``O(f)`` path as
 
 import pytest
 
-import repro
+from repro.api import Experiment
 from repro.adversary import StallingAdversary
 from repro.core.wrapper import total_round_bound
 from repro.predictions import count_errors
@@ -33,11 +33,13 @@ def run_sweep():
     for hide in (0, 2, 5, 8, F):
         predictions = hiding_assignment(N, FAULTY, hide)
         budget = count_errors(predictions, HONEST).total
-        report = repro.solve(
-            N, T, INPUTS,
-            faulty_ids=FAULTY,
-            adversary=StallingAdversary(0, 1),
-            predictions=predictions,
+        report = (
+            Experiment(n=N, t=T)
+            .with_inputs(INPUTS)
+            .with_faults(faulty=FAULTY)
+            .with_adversary(StallingAdversary(0, 1))
+            .with_predictions(predictions)
+            .solve_one()
         )
         assert report.agreed
         rows.append(

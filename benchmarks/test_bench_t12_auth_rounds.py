@@ -15,7 +15,7 @@ DESIGN.md for the graded-consensus substitution (our auth pipeline runs at
 
 import pytest
 
-import repro
+from repro.api import Experiment
 from repro.adversary import StallingAdversary
 from repro.core.wrapper import classification_budget, total_round_bound
 from repro.predictions import count_errors
@@ -34,12 +34,13 @@ def run_sweep():
         predictions = hiding_assignment(N, FAULTY, hide)
         budget = count_errors(predictions, HONEST).total
         for mode in ("authenticated", "unauthenticated"):
-            report = repro.solve(
-                N, T, INPUTS,
-                faulty_ids=FAULTY,
-                adversary=StallingAdversary(0, 1),
-                predictions=predictions,
-                mode=mode,
+            report = (
+                Experiment(n=N, t=T, mode=mode)
+                .with_inputs(INPUTS)
+                .with_faults(faulty=FAULTY)
+                .with_adversary(StallingAdversary(0, 1))
+                .with_predictions(predictions)
+                .solve_one()
             )
             assert report.agreed
             rows.append(

@@ -14,7 +14,7 @@ increasing in ``B`` at fixed large ``f``, saturating at the ``f``-cap.
 
 import pytest
 
-import repro
+from repro.api import Experiment
 from repro.adversary import StallingAdversary
 from repro.lowerbounds import round_lower_bound
 from repro.predictions import count_errors
@@ -33,11 +33,13 @@ def run_grid():
         for hide in sorted({0, f // 2, f}):
             predictions = hiding_assignment(N, faulty, hide)
             budget = count_errors(predictions, honest).total
-            report = repro.solve(
-                N, T, INPUTS,
-                faulty_ids=faulty,
-                adversary=StallingAdversary(0, 1),
-                predictions=predictions,
+            report = (
+                Experiment(n=N, t=T)
+                .with_inputs(INPUTS)
+                .with_faults(faulty=faulty)
+                .with_adversary(StallingAdversary(0, 1))
+                .with_predictions(predictions)
+                .solve_one()
             )
             assert report.agreed
             bound = round_lower_bound(N, T, f, budget)

@@ -18,7 +18,7 @@ Two measurements:
 
 import pytest
 
-import repro
+from repro.api import Experiment
 from repro.adversary import ScriptedAdversary
 from repro.core.api import run_protocol
 from repro.lowerbounds import (
@@ -38,10 +38,12 @@ def run_sweep():
         f = t
         faulty = list(range(n - f, n))
         honest = [pid for pid in range(n) if pid < n - f]
-        report = repro.solve(
-            n, t, [pid % 2 for pid in range(n)],
-            faulty_ids=faulty,
-            predictions=perfect_predictions(n, honest),
+        report = (
+            Experiment(n=n, t=t)
+            .with_inputs([pid % 2 for pid in range(n)])
+            .with_faults(faulty=faulty)
+            .with_predictions(perfect_predictions(n, honest))
+            .solve_one()
         )
         assert report.agreed
         rows.append(

@@ -12,14 +12,15 @@ Three attack layers are combined:
 
 Safety (agreement + validity) must survive all of it -- only latency may
 suffer, and it is capped by the prediction-free ``O(f)`` path.  This is the
-paper's degradation story made executable.
+paper's degradation story made executable, driven through one
+:class:`repro.api.Experiment` shared by every attack combination.
 
 Run:  python examples/adversarial_predictions.py
 """
 
 import random
 
-import repro
+from repro.api import Experiment
 from repro.adversary import PredictionLiarAdversary, SplitWorldAdversary
 from repro.classify import lemma1_bound
 from repro.experiments import format_table
@@ -31,24 +32,23 @@ HONEST = [pid for pid in range(N) if pid not in FAULTY]
 
 
 def main() -> None:
+    experiment = (
+        Experiment(n=N, t=T)
+        .with_inputs([pid % 2 for pid in range(N)])
+        .with_faults(faulty=FAULTY)
+    )
     rows = []
     capacity = len(HONEST) * N
     for budget in (0, 2 * N, 4 * N, 8 * N, capacity // 2):
         predictions = generate(
             "concentrated", N, HONEST, budget, random.Random(7)
         )
+        poisoned = experiment.with_predictions(predictions)
         for attack_name, adversary in (
             ("prediction-liar", PredictionLiarAdversary()),
             ("split-world", SplitWorldAdversary(0, 1)),
         ):
-            report = repro.solve(
-                N,
-                T,
-                [pid % 2 for pid in range(N)],
-                faulty_ids=FAULTY,
-                adversary=adversary,
-                predictions=predictions,
-            )
+            report = poisoned.with_adversary(adversary).solve_one()
             assert report.agreed, "safety must survive poisoned predictions"
             rows.append(
                 {

@@ -7,15 +7,16 @@ committee, and Byzantine broadcast with implicit committee cuts the classic
 Dolev-Strong ``t + 1`` rounds down to ``k + 1``, where ``k`` tracks the
 *reputation system's* error count rather than the worst-case fault bound.
 
-We sweep the reputation system's error budget and compare against the
-unauthenticated suite on the same workload.
+One :class:`repro.api.Experiment` describes the committee; we sweep the
+reputation system's error budget and compare against the unauthenticated
+suite on the same workload.
 
 Run:  python examples/blockchain_committee.py
 """
 
 import random
 
-import repro
+from repro.api import Experiment
 from repro.adversary import SplitWorldAdversary
 from repro.experiments import format_table
 from repro.predictions import generate
@@ -31,20 +32,22 @@ def propose_blocks():
 
 
 def main() -> None:
+    committee = (
+        Experiment(n=N, t=T)
+        .with_inputs(propose_blocks())
+        .with_faults(faulty=FAULTY)
+        .with_adversary(SplitWorldAdversary("block-0", "block-1"))
+    )
     rows = []
     for budget in (0, N, 3 * N, 6 * N):
         predictions = generate(
             "concentrated", N, HONEST, budget, random.Random(budget)
         )
         for mode in ("authenticated", "unauthenticated"):
-            report = repro.solve(
-                N,
-                T,
-                propose_blocks(),
-                faulty_ids=FAULTY,
-                adversary=SplitWorldAdversary("block-0", "block-1"),
-                predictions=predictions,
-                mode=mode,
+            report = (
+                committee.with_mode(mode)
+                .with_predictions(predictions)
+                .solve_one()
             )
             assert report.agreed
             rows.append(

@@ -2,15 +2,16 @@
 
 Ten processes, three of them Byzantine (running the classic split-world
 equivocation attack), and a noisy security monitor that got 12 prediction
-bits wrong.  We solve agreement, then show how prediction quality changed
-the bill.
+bits wrong.  We describe the run as one :class:`repro.api.Experiment` --
+the v1 front door every execution goes through -- solve agreement, then
+show how prediction quality changed the bill.
 
 Run:  python examples/quickstart.py
 """
 
 import random
 
-import repro
+from repro.api import Experiment
 from repro.adversary import SplitWorldAdversary
 from repro.predictions import corrupt_random, perfect_predictions
 
@@ -26,14 +27,13 @@ def main() -> None:
     # bits (B = 12), scattered at random.
     noisy = corrupt_random(N, HONEST, budget=12, rng=random.Random(42))
 
-    report = repro.solve(
-        N,
-        T,
-        INPUTS,
-        faulty_ids=FAULTY,
-        adversary=SplitWorldAdversary(0, 1),
-        predictions=noisy,
+    experiment = (
+        Experiment(n=N, t=T)
+        .with_inputs(INPUTS)
+        .with_faults(faulty=FAULTY)
+        .with_adversary(SplitWorldAdversary(0, 1))
     )
+    report = experiment.with_predictions(noisy).solve_one()
 
     print("decisions :", report.decisions)
     print("agreed    :", report.agreed, "on", report.decision)
@@ -41,12 +41,9 @@ def main() -> None:
     print("rounds    :", report.rounds)
     print("messages  :", report.messages)
 
-    # Same run with a perfect monitor -- fewer or equal rounds.
+    # Same experiment with a perfect monitor -- fewer or equal rounds.
     perfect = perfect_predictions(N, HONEST)
-    baseline = repro.solve(
-        N, T, INPUTS, faulty_ids=FAULTY,
-        adversary=SplitWorldAdversary(0, 1), predictions=perfect,
-    )
+    baseline = experiment.with_predictions(perfect).solve_one()
     print("\nwith perfect predictions:")
     print("rounds    :", baseline.rounds)
     print("messages  :", baseline.messages)

@@ -6,14 +6,15 @@ We simulate a monitor whose accuracy degrades -- from perfect detection to
 useless -- and measure how decision latency (rounds) degrades *gracefully*
 with prediction quality, the paper's headline property: fast when the
 monitor is right, never worse than prediction-free agreement when it is
-wrong.
+wrong.  The fleet is described once as a :class:`repro.api.Experiment`;
+each monitor quality is the same experiment with different predictions.
 
 Run:  python examples/security_monitor.py
 """
 
 import random
 
-import repro
+from repro.api import Experiment
 from repro.adversary import SplitWorldAdversary
 from repro.experiments import format_table
 from repro.predictions import count_errors, from_suspect_sets
@@ -42,7 +43,12 @@ def monitor_suspects(detection_rate: float, false_alarm_rate: float, rng):
 
 def main() -> None:
     rng = random.Random(2025)
-    inputs = [pid % 2 for pid in range(N)]
+    fleet = (
+        Experiment(n=N, t=T)
+        .with_inputs([pid % 2 for pid in range(N)])
+        .with_faults(faulty=FAULTY)
+        .with_adversary(SplitWorldAdversary(0, 1))
+    )
     rows = []
     for detection, false_alarm in [
         (1.00, 0.00),  # perfect monitor
@@ -55,14 +61,7 @@ def main() -> None:
             N, monitor_suspects(detection, false_alarm, rng)
         )
         errors = count_errors(predictions, HONEST)
-        report = repro.solve(
-            N,
-            T,
-            inputs,
-            faulty_ids=FAULTY,
-            adversary=SplitWorldAdversary(0, 1),
-            predictions=predictions,
-        )
+        report = fleet.with_predictions(predictions).solve_one()
         assert report.agreed, "safety must hold at every monitor quality"
         rows.append(
             {

@@ -1,5 +1,26 @@
-"""Legacy shim so editable installs work without the wheel package."""
+"""Packaging for the reproduction.
 
-from setuptools import setup
+The public v1 API (``repro.api``) is type-annotated and ships a
+``py.typed`` marker (PEP 561), so downstream users get type checking of
+``Experiment``-built pipelines out of the box.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-ba-predictions",
+    version="1.1.0",
+    description=(
+        "Byzantine Agreement with Predictions (PODC 2025) -- full "
+        "reproduction with a campaign runtime, pluggable execution "
+        "backends, and store-fed reporting behind one Experiment API"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+    zip_safe=False,
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": ["repro = repro.experiments.cli:main"],
+    },
+)

@@ -2,24 +2,38 @@
 
 Public API highlights:
 
-* :func:`repro.solve` -- run Byzantine agreement with predictions end to end
-  on the simulated synchronous network and get exact complexity metrics.
+* :class:`repro.Experiment` (canonical home :mod:`repro.api`) -- the v1
+  front door: one declarative builder that compiles to scenario grids,
+  runs single executions (:meth:`~repro.api.Experiment.solve_one`),
+  campaigns over any backend (:meth:`~repro.api.Experiment.run`), and
+  store-fed reports (:meth:`~repro.api.Experiment.report`).
 * :mod:`repro.predictions` -- prediction generators with exact error budgets.
 * :mod:`repro.adversary` -- pluggable Byzantine strategies.
 * :mod:`repro.lowerbounds` -- the paper's lower-bound constructions.
 
+:func:`repro.solve` and :func:`repro.solve_without_predictions` are the
+pre-v1 entry points, kept as deprecation shims over the
+:class:`Experiment` path (see docs/API.md for the migration table).
+
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
 
+from .api import API_VERSION, Campaign, Experiment
 from .core.api import SolveReport, run_protocol, solve, solve_without_predictions
-from .core.wrapper import AUTHENTICATED, UNAUTHENTICATED, ba_with_predictions
+from .core.wrapper import AUTHENTICATED, MODES, UNAUTHENTICATED, ba_with_predictions
 from .perf import CacheStats, cache_report
+from .runtime.execute import SCHEMA_VERSION
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "API_VERSION",
     "AUTHENTICATED",
     "CacheStats",
+    "Campaign",
+    "Experiment",
+    "MODES",
+    "SCHEMA_VERSION",
     "SolveReport",
     "UNAUTHENTICATED",
     "ba_with_predictions",

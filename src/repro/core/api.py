@@ -1,15 +1,22 @@
-"""High-level public API: configure and run one agreement execution.
+"""Engine-level execution: configure and run one agreement execution.
 
-:func:`solve` is the library's front door -- it wires inputs, predictions,
-an adversary, and the chosen protocol mode into a
-:class:`~repro.net.engine.Network`, runs Algorithm 1, and returns a
-:class:`SolveReport` with decisions and exact complexity measurements.
-:func:`run_protocol` is the lower-level hook for running any protocol
-coroutine (used heavily by tests and benchmarks).
+Since the v1 API redesign the *public* front door is
+:class:`repro.api.Experiment`; this module is the engine room underneath
+it.  :func:`_solve` wires inputs, predictions, an adversary, and the
+chosen protocol mode into a :class:`~repro.net.engine.Network`, runs
+Algorithm 1, and returns a :class:`SolveReport` with decisions and exact
+complexity measurements.  :func:`run_protocol` is the lower-level hook
+for running any protocol coroutine (used heavily by tests and
+benchmarks).
+
+:func:`solve` and :func:`solve_without_predictions` -- the pre-redesign
+entry points -- remain as thin deprecation shims that delegate to the
+:class:`~repro.api.Experiment` path.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Sequence, Set
 
@@ -27,6 +34,7 @@ from ..predictions.model import (
 from ..predictions.generators import perfect_predictions
 from .wrapper import (
     AUTHENTICATED,
+    MODES,
     UNAUTHENTICATED,
     ba_with_predictions,
     total_round_bound,
@@ -130,7 +138,7 @@ def run_protocol(
     return network.run()
 
 
-def solve(
+def _solve(
     n: int,
     t: int,
     inputs: Sequence[Any],
@@ -144,7 +152,12 @@ def solve(
     max_rounds: Optional[int] = None,
     cache: bool = True,
 ) -> SolveReport:
-    """Solve Byzantine agreement with predictions end to end.
+    """Solve Byzantine agreement with predictions end to end (engine form).
+
+    This is the single execution engine behind the public API: both
+    :meth:`repro.api.Experiment.solve_one` and the scenario row path
+    (:func:`repro.runtime.execute.execute_spec`) bottom out here, as do
+    the deprecated :func:`solve`/:func:`solve_without_predictions` shims.
 
     Args:
         n: number of processes.
@@ -155,7 +168,8 @@ def solve(
         adversary: faulty-process strategy; defaults to silent crashes.
         predictions: prediction assignment; defaults to perfect predictions.
         mode: ``"unauthenticated"`` (Theorem 11 suite) or
-            ``"authenticated"`` (Theorem 12 suite).
+            ``"authenticated"`` (Theorem 12 suite); anything else raises
+            ``ValueError`` against the canonical :data:`MODES` tuple.
         key_seed: deterministic key material for the simulated PKI.
         max_rounds: safety cap; defaults to the wrapper's worst-case bound.
         cache: enable the authenticated-mode verification caches
@@ -166,6 +180,10 @@ def solve(
     Returns:
         A :class:`SolveReport`.
     """
+    if mode not in MODES:
+        raise ValueError(
+            f"unknown mode {mode!r} (known modes: {', '.join(MODES)})"
+        )
     faulty = sorted(set(faulty_ids))
     if len(inputs) != n:
         raise ValueError(f"expected {n} inputs, got {len(inputs)}")
@@ -214,7 +232,7 @@ def solve(
         honest_ids=result.honest_ids,
         faulty_ids=faulty,
         mode=mode,
-        rounds=result.metrics.rounds_to_last_decision or result.rounds,
+        rounds=_decision_rounds(result),
         messages=result.messages,
         bits=result.metrics.honest_bits,
         prediction_errors=count_errors(predictions, honest).total,
@@ -223,7 +241,19 @@ def solve(
     )
 
 
-def solve_without_predictions(
+def _decision_rounds(result: ExecutionResult) -> int:
+    """Rounds until the last honest decision, falling back to the total.
+
+    ``rounds_to_last_decision`` is ``None`` when nothing decided, but a
+    legitimate decision in round 0 is a *real* measurement -- an ``or``
+    fallback would silently replace it with the total round count, so the
+    check must be an explicit ``is None``.
+    """
+    last = result.metrics.rounds_to_last_decision
+    return result.rounds if last is None else last
+
+
+def _solve_baseline(
     n: int,
     t: int,
     inputs: Sequence[Any],
@@ -235,9 +265,9 @@ def solve_without_predictions(
     """Baseline: plain early-stopping Byzantine agreement, no predictions.
 
     This is what a system without a security monitor deploys -- ``O(f)``
-    rounds always.  Benchmarks compare it against :func:`solve` to quantify
-    what predictions buy (and Theorem 14's point that they buy nothing in
-    messages).
+    rounds always.  Benchmarks compare it against the prediction-armed
+    path to quantify what predictions buy (and Theorem 14's point that
+    they buy nothing in messages).
     """
     from ..earlystop.protocol import ba_early_stopping
 
@@ -269,10 +299,97 @@ def solve_without_predictions(
         honest_ids=result.honest_ids,
         faulty_ids=faulty,
         mode="baseline-early-stopping",
-        rounds=result.metrics.rounds_to_last_decision or result.rounds,
+        rounds=_decision_rounds(result),
         messages=result.messages,
         bits=result.metrics.honest_bits,
         prediction_errors=0,
         metrics=result.metrics,
         cache_stats=cache_report(metrics=result.metrics),
     )
+
+
+def _deprecated(old: str, new: str) -> None:
+    """Emit the one-line migration warning for a legacy entry point."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def solve(
+    n: int,
+    t: int,
+    inputs: Sequence[Any],
+    *,
+    faulty_ids: Iterable[int] = (),
+    adversary: Optional[Adversary] = None,
+    predictions: Optional[PredictionAssignment] = None,
+    mode: str = UNAUTHENTICATED,
+    arms: Sequence[str] = ("early", "class"),
+    key_seed: int = 0,
+    max_rounds: Optional[int] = None,
+    cache: bool = True,
+) -> SolveReport:
+    """Deprecated pre-v1 front door; delegates to the Experiment path.
+
+    .. deprecated:: 1.1
+        Use :class:`repro.api.Experiment` instead::
+
+            Experiment(n=n, t=t, mode=mode).with_inputs(inputs)\\
+                .with_faults(faulty=faulty_ids).solve_one()
+
+    The shim is behavior-preserving: it routes the exact same arguments
+    through :meth:`Experiment.solve_one`, which calls the same engine
+    (:func:`_solve`), so results are byte-identical to pre-redesign
+    callers' expectations.
+    """
+    _deprecated("repro.solve()", "repro.api.Experiment(...).solve_one()")
+    from ..api import Experiment
+
+    experiment = (
+        Experiment(n=n, t=t, mode=mode)
+        .with_inputs(inputs)
+        .with_faults(faulty=faulty_ids)
+        .with_arms(*arms)
+        .with_options(key_seed=key_seed, max_rounds=max_rounds, cache=cache)
+    )
+    if adversary is not None:
+        experiment = experiment.with_adversary(adversary)
+    if predictions is not None:
+        experiment = experiment.with_predictions(predictions)
+    return experiment.solve_one()
+
+
+def solve_without_predictions(
+    n: int,
+    t: int,
+    inputs: Sequence[Any],
+    *,
+    faulty_ids: Iterable[int] = (),
+    adversary: Optional[Adversary] = None,
+    max_rounds: int = 100_000,
+) -> SolveReport:
+    """Deprecated baseline entry point; delegates to the Experiment path.
+
+    .. deprecated:: 1.1
+        Use :meth:`repro.api.Experiment.baseline`::
+
+            Experiment(n=n, t=t).with_inputs(inputs)\\
+                .with_faults(faulty=faulty_ids).baseline()
+    """
+    _deprecated(
+        "repro.solve_without_predictions()",
+        "repro.api.Experiment(...).baseline()",
+    )
+    from ..api import Experiment
+
+    experiment = (
+        Experiment(n=n, t=t)
+        .with_inputs(inputs)
+        .with_faults(faulty=faulty_ids)
+        .with_options(max_rounds=max_rounds)
+    )
+    if adversary is not None:
+        experiment = experiment.with_adversary(adversary)
+    return experiment.baseline()

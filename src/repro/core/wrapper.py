@@ -40,6 +40,13 @@ from .unauth import ba_with_classification_unauth
 UNAUTHENTICATED = "unauthenticated"
 AUTHENTICATED = "authenticated"
 
+#: The canonical protocol modes, in declaration order.  Every mode-taking
+#: surface (``repro.api.Experiment``, the deprecated :func:`repro.solve`,
+#: :class:`repro.runtime.ScenarioSpec`, the CLI) validates against this
+#: tuple, so a typo'd mode fails loudly instead of silently running the
+#: unauthenticated suite.
+MODES = (UNAUTHENTICATED, AUTHENTICATED)
+
 _EARLY_STOP_PHASE_ROUNDS = 5  # gc3 (2) + king (1) + gc3 (2)
 _EARLY_STOP_SLACK_PHASES = 3  # decide by f+2, help one phase, one spare
 

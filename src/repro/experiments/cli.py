@@ -21,11 +21,11 @@ Examples::
     python -m repro store compact campaign.jsonl --dry-run
     python -m repro store merge all.jsonl shard-a.jsonl shard-b.jsonl
 
-The CLI is a thin shell over :mod:`repro.experiments.sweeps`, the
-campaign runtime (:mod:`repro.runtime`, including the execution backends
-in :mod:`repro.runtime.backends`), and the reporting subsystem
-(:mod:`repro.reporting`); anything it prints can be reproduced
-programmatically.
+The CLI is a thin shell over the v1 front door
+(:class:`repro.api.Experiment` -- ``campaign`` and ``report`` are
+``Experiment.run()`` / ``Experiment.report()`` with flags) plus
+:mod:`repro.experiments.sweeps` for the small historical subcommands;
+anything it prints can be reproduced programmatically.
 """
 
 from __future__ import annotations
@@ -36,17 +36,15 @@ from contextlib import contextmanager
 from typing import Any, List, Optional, Sequence
 
 from ..adversary.registry import adversary_names
+from ..api import Experiment
 from ..core.wrapper import AUTHENTICATED, UNAUTHENTICATED, total_round_bound
 from ..lowerbounds.messages import message_lower_bound
 from ..lowerbounds.rounds import round_lower_bound
 from ..predictions.generators import GENERATORS
 from ..reporting.paper import SCALES as REPORT_SCALES, paper_report_spec
 from ..reporting.render import write_report
-from ..reporting.spec import build_report
-from ..runtime.aggregate import check_envelopes, summarize
-from ..runtime.backends import BACKEND_NAMES, BackendError, make_backend
-from ..runtime.runner import run_campaign
-from ..runtime.scenario import INPUT_PATTERNS, ScenarioGrid
+from ..runtime.backends import BACKEND_NAMES, BackendError
+from ..runtime.scenario import INPUT_PATTERNS
 from ..runtime.store import ResultStore, StoreLockError
 from .sweeps import run_once, sweep_budget, sweep_faults
 from .tables import format_table
@@ -306,22 +304,22 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _profile_scenario(grid: ScenarioGrid, top: int) -> int:
-    """Profile one scenario from ``grid`` and print top-``top`` stats."""
+def _profile_scenario(experiment: Experiment, top: int) -> int:
+    """Profile the experiment's first scenario; print top-``top`` stats."""
     import cProfile
     import io
     import pstats
 
-    from ..runtime.execute import run_scenario
+    from ..runtime.execute import execute_spec
 
-    specs = grid.expand()
+    specs = experiment.scenarios()
     if not specs:
         print("error: empty scenario grid", file=sys.stderr)
         return 2
     spec = specs[0]
     profiler = cProfile.Profile()
     profiler.enable()
-    row = run_scenario(spec, collect_perf=True)
+    row = execute_spec(spec, collect_perf=True)
     profiler.disable()
     stream = io.StringIO()
     pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(top)
@@ -342,29 +340,30 @@ def _profile_scenario(grid: ScenarioGrid, top: int) -> int:
 
 
 def _run_campaign_command(args: argparse.Namespace) -> int:
-    grid = ScenarioGrid(
-        n=args.n,
-        t=args.t,
-        f=args.f,
-        budget=args.budgets,
-        mode=args.modes,
-        adversary=args.adversaries,
-        generator=args.generators,
-        pattern=args.patterns,
-        seeds=args.seeds,
-        skip_invalid=True,
-    )
-    if args.profile is not None:
-        return _profile_scenario(grid, args.profile)
-    store = ResultStore(args.store) if args.store else None
     try:
-        backend = _make_cli_backend(args)
+        experiment = Experiment(
+            n=args.n,
+            t=args.t,
+            f=args.f,
+            budget=args.budgets,
+            mode=args.modes,
+            adversary=args.adversaries,
+            generator=args.generators,
+            pattern=args.patterns,
+            skip_invalid=True,
+        ).with_seeds(args.seeds)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.profile is not None:
+        return _profile_scenario(experiment, args.profile)
     try:
-        result = run_campaign(
-            grid, store=store, workers=args.workers, backend=backend
+        campaign = experiment.run(
+            store=args.store or None,
+            workers=args.workers,
+            backend=args.backend,
+            connect=args.connect,
+            job_timeout=args.job_timeout,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -372,28 +371,25 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     except (BackendError, StoreLockError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    finally:
-        if backend is not None:
-            backend.close()
-    stats = result.stats
+    stats = campaign.stats
     print(
         f"campaign: {stats.total} scenarios | executed {stats.executed} | "
         f"cached {stats.cached} | deduplicated {stats.deduplicated} | "
         f"failed {stats.failed}"
     )
-    if backend is not None and backend.summary():
-        print(backend.summary())
-    rows = result.ok_rows()
+    if campaign.backend_summary:
+        print(campaign.backend_summary)
+    rows = campaign.ok_rows()
     if args.rows:
         print(format_table(rows, _ROW_COLUMNS, title="scenarios"))
-    summary = summarize(rows, by=args.group_by)
+    summary = campaign.summarize(by=args.group_by)
     columns = list(args.group_by) + [
         "count", "agreed%", "validity_viol",
         "rounds_mean", "rounds_p95", "rounds_max",
         "messages_mean", "messages_max",
     ]
     print(format_table(summary, columns, title="campaign summary"))
-    violations = check_envelopes(rows)
+    violations = campaign.check_envelopes()
     if violations or stats.failed:
         for violation in violations:
             scenario = (violation["scenario"] or "")[:12]
@@ -405,42 +401,29 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_cli_backend(args: argparse.Namespace):
-    """Backend from ``--backend``/``--connect``; ``None`` keeps the
-    runner's historical workers-based default (serial or pool)."""
-    if args.backend == "auto" and not args.connect:
-        return None
-    return make_backend(
-        args.backend,
-        workers=args.workers,
-        connect=args.connect,
-        job_timeout=args.job_timeout,
-    )
-
-
 def _run_report_command(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     spec = paper_report_spec(args.scale)
     store_path = args.store or f"reports/campaign-{args.scale}.jsonl"
-    try:
-        backend = _make_cli_backend(args)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
     with ResultStore(store_path) as store:
         print(f"report[{args.scale}]: store {store_path} holds "
               f"{len(store)} row(s)")
         try:
-            report = build_report(
-                spec, store=store, workers=args.workers, backend=backend
+            report = Experiment().report(
+                spec,
+                store=store,
+                workers=args.workers,
+                backend=args.backend,
+                connect=args.connect,
+                job_timeout=args.job_timeout,
             )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         except (RuntimeError, StoreLockError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
-        finally:
-            if backend is not None:
-                backend.close()
         stats = report.stats
         print(
             f"report: {stats.total} scenarios | executed {stats.executed} | "

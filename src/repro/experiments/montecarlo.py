@@ -5,9 +5,9 @@ distributional evidence: *across many random fault sets, prediction
 corruptions, and adversaries, does the system always agree, and how do
 rounds distribute?*  Sampling and execution are split: :func:`sample_trials`
 draws concrete, hashable :class:`ScenarioSpec` scenarios from seeded
-randomness, and the campaign runtime (:mod:`repro.runtime`) executes them
--- serially, on a worker pool, or resumed from a result store -- before
-:func:`run_trials` aggregates per-configuration statistics.
+randomness, and the v1 front door (:class:`repro.api.Experiment`) executes
+them -- serially, on a worker pool, or resumed from a result store --
+before :func:`run_trials` aggregates per-configuration statistics.
 """
 
 from __future__ import annotations
@@ -18,8 +18,6 @@ from typing import Any, Dict, List, Optional
 
 from ..adversary.registry import adversary_spec, make_adversary
 from ..runtime.aggregate import agreement_rate, mean
-from ..runtime.execute import run_scenario
-from ..runtime.runner import run_campaign
 from ..runtime.scenario import ScenarioSpec
 
 #: Adversary families sampled by default; all live in the shared registry
@@ -108,12 +106,20 @@ def run_single_trial(
     adversary_kind: Optional[str] = None,
     max_budget: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """One randomized execution; returns its result row."""
+    """One randomized execution; returns its result row.
+
+    Calls :func:`~repro.runtime.execute.execute_spec` directly -- the
+    same single-scenario entry every backend uses -- so engine failures
+    propagate with their original type and traceback instead of being
+    folded into a campaign error row.
+    """
+    from ..runtime.execute import execute_spec
+
     spec = sample_scenario(
         n, t, rng,
         mode=mode, adversary_kind=adversary_kind, max_budget=max_budget,
     )
-    return run_scenario(spec)
+    return execute_spec(spec)
 
 
 def trial_stats(rows: List[Dict[str, Any]]) -> TrialStats:
@@ -146,7 +152,8 @@ def run_trials(
     repeated batches resume from cache.  Results are identical for any
     worker count.
     """
+    from ..api import Experiment
+
     specs = sample_trials(n, t, trials, seed, **kwargs)
-    result = run_campaign(specs, workers=workers, store=store)
-    result.raise_on_failure()
-    return trial_stats(result.rows)
+    campaign = Experiment.from_specs(specs).run(store=store, workers=workers)
+    return trial_stats(campaign.raise_on_failure().rows)

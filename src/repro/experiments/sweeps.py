@@ -1,10 +1,10 @@
 """Parameter sweeps regenerating the paper's evaluation (Theorems 11-14).
 
 Each sweep expands a parameter grid into :class:`ScenarioSpec` scenarios
-and executes them through the campaign runtime
-(:mod:`repro.runtime`), reporting one row per configuration with exact
-measured complexity, prediction-quality accounting (``B``, ``k_A``), and
-the matching theoretical envelopes.  Benchmarks and examples are thin
+and executes them through the v1 front door
+(:class:`repro.api.Experiment`), reporting one row per configuration with
+exact measured complexity, prediction-quality accounting (``B``, ``k_A``),
+and the matching theoretical envelopes.  Benchmarks and examples are thin
 wrappers over these functions, so the numbers in EXPERIMENTS.md are
 regenerable from one place -- and any sweep accepts ``workers``/``store``
 to fan out on a pool or resume from a cache.
@@ -16,8 +16,6 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..adversary.registry import make_adversary as _registry_make_adversary
 from ..net.adversary import Adversary
-from ..runtime.execute import run_scenario
-from ..runtime.runner import run_campaign
 from ..runtime.scenario import ScenarioSpec, default_t, pattern_inputs
 
 
@@ -48,18 +46,11 @@ def run_once(
 ) -> Dict[str, Any]:
     """One execution; returns a result row (see
     :func:`repro.runtime.execute.run_scenario`)."""
-    spec = ScenarioSpec(
-        n=n,
-        t=t,
-        f=f,
-        budget=budget,
-        mode=mode,
-        generator=generator,
-        adversary=adversary_kind,
-        seed=seed,
-        inputs=tuple(inputs) if inputs is not None else None,
-    )
-    return run_scenario(spec)
+    return _run_specs([_spec(
+        n, t, f, budget,
+        mode=mode, generator=generator, adversary_kind=adversary_kind,
+        inputs=inputs, seed=seed,
+    )])[0]
 
 
 def _run_specs(
@@ -67,9 +58,10 @@ def _run_specs(
     workers: int = 1,
     store: Optional[Any] = None,
 ) -> List[Dict[str, Any]]:
-    result = run_campaign(specs, workers=workers, store=store)
-    result.raise_on_failure()
-    return result.rows
+    from ..api import Experiment
+
+    campaign = Experiment.from_specs(specs).run(store=store, workers=workers)
+    return campaign.raise_on_failure().rows
 
 
 def sweep_budget(

@@ -10,6 +10,13 @@ executes the missing scenarios once and a warm store renders the whole
 report without a single protocol execution.  Because every row is a pure
 function of its scenario's content hash, the built report -- and any
 document rendered from it -- is byte-identical run over run.
+
+The v1 front door wraps this layer: :meth:`repro.api.Experiment.report`
+is :func:`build_report` plus backend resolution, and with no explicit
+spec it synthesizes a single-table report over the experiment's own
+scenarios.  Rows served here carry the ``schema`` stamp
+(:data:`repro.runtime.execute.SCHEMA_VERSION`) when freshly executed;
+legacy schema-less store rows render identically.
 """
 
 from __future__ import annotations

@@ -41,10 +41,11 @@ from .backends import (
     WorkerServer,
     make_backend,
 )
-from .execute import run_scenario
+from .execute import SCHEMA_VERSION, execute_spec, run_scenario, solve_spec
 from .runner import CampaignResult, CampaignRunner, CampaignStats, run_campaign
 from .scenario import (
     INPUT_PATTERNS,
+    MODES,
     ScenarioGrid,
     ScenarioSpec,
     default_t,
@@ -54,6 +55,8 @@ from .store import ResultStore, StoreLockError
 
 __all__ = [
     "INPUT_PATTERNS",
+    "MODES",
+    "SCHEMA_VERSION",
     "Backend",
     "BackendError",
     "CampaignResult",
@@ -70,6 +73,7 @@ __all__ = [
     "agreement_rate",
     "check_envelopes",
     "default_t",
+    "execute_spec",
     "group_by",
     "make_backend",
     "mean",
@@ -77,5 +81,6 @@ __all__ = [
     "percentile",
     "run_campaign",
     "run_scenario",
+    "solve_spec",
     "summarize",
 ]

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from ..execute import run_scenario
+from ..execute import execute_spec
 from ..scenario import ScenarioSpec
 
 #: One unit of backend work: ``(scenario hash, spec)``.
@@ -49,7 +49,7 @@ def execute_job(job: Job) -> JobResult:
     """
     key, spec = job
     try:
-        return key, True, run_scenario(spec)
+        return key, True, execute_spec(spec)
     except Exception as exc:  # noqa: BLE001 - reported as a failed row
         return key, False, {"error": f"{type(exc).__name__}: {exc}"}
 

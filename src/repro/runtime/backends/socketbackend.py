@@ -325,7 +325,7 @@ class SocketBackend(Backend):
             key, spec = job
             try:
                 send_frame(link.sock, {
-                    "type": "job", "key": key, "spec": spec.canonical(),
+                    "type": "job", "key": key, "spec": spec.to_dict(),
                 })
             except OSError as exc:
                 inflight[key] = job  # count it as lost in-flight work

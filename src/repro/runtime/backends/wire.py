@@ -35,7 +35,11 @@ import struct
 from typing import Any, Dict, Optional
 
 #: Handshake version; mismatched driver/worker pairs refuse to talk.
-PROTOCOL_VERSION = 1
+#: v2: result rows carry the ``schema`` stamp (see
+#: :data:`repro.runtime.execute.SCHEMA_VERSION`) -- a v1 worker would
+#: produce schema-less rows that break cross-backend byte-identity, so
+#: the skew must be refused at connect time, not discovered in a store.
+PROTOCOL_VERSION = 2
 
 #: Frame length prefix: 4-byte unsigned big-endian.
 _HEADER = struct.Struct(">I")

@@ -22,13 +22,11 @@ import json
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from ..core.wrapper import AUTHENTICATED, UNAUTHENTICATED
+from ..core.wrapper import AUTHENTICATED, MODES, UNAUTHENTICATED
 from ..adversary.registry import adversary_spec
 from ..predictions.generators import GENERATORS
 
 INPUT_PATTERNS = ("split", "zeros", "ones", "alternating")
-
-MODES = (UNAUTHENTICATED, AUTHENTICATED)
 
 
 def pattern_inputs(n: int, pattern: str = "split") -> List[int]:
@@ -116,8 +114,15 @@ class ScenarioSpec:
             return list(self.inputs)
         return pattern_inputs(self.n, self.pattern)
 
-    def canonical(self) -> Dict[str, Any]:
-        """A JSON-stable dict of every identity-bearing field."""
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-stable dict of every identity-bearing field.
+
+        This is the *one* serialized form of a scenario: the wire
+        protocol ships it in ``job`` frames, :meth:`scenario_hash`
+        content-addresses it, and the public API
+        (:class:`repro.api.Experiment`) exposes it for caching/diffing.
+        :meth:`from_dict` is its exact inverse.
+        """
         doc: Dict[str, Any] = {
             f.name: getattr(self, f.name) for f in fields(self)
         }
@@ -126,11 +131,15 @@ class ScenarioSpec:
         doc["inputs"] = list(self.inputs) if self.inputs is not None else None
         return doc
 
+    def canonical(self) -> Dict[str, Any]:
+        """Pre-v1 alias of :meth:`to_dict` (kept for compatibility)."""
+        return self.to_dict()
+
     @classmethod
     def from_dict(cls, doc: Dict[str, Any]) -> "ScenarioSpec":
-        """Rebuild a validated spec from its :meth:`canonical` dict.
+        """Rebuild a validated spec from its :meth:`to_dict` dict.
 
-        The inverse of :meth:`canonical` modulo JSON's tuple/list
+        The inverse of :meth:`to_dict` modulo JSON's tuple/list
         conflation (``arms``/``faulty``/``inputs`` come back as lists and
         are re-frozen here), so ``from_dict(spec.canonical())`` has the
         same content hash as ``spec`` -- which is what lets the socket
@@ -153,7 +162,7 @@ class ScenarioSpec:
 
     def scenario_hash(self) -> str:
         """Content address: sha256 over the canonical JSON encoding."""
-        blob = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def derived_seed(self) -> int:
@@ -189,6 +198,13 @@ class ScenarioGrid:
     of raising, which is what a crossed grid usually wants.  Unknown
     categorical values (mode, adversary, generator, pattern) always
     raise: a typo should never silently shrink a campaign.
+
+    ``faulty``/``inputs`` are *fixed* (non-axis) overrides applied to
+    every expanded spec -- an explicit fault set or proposal vector, as
+    in :class:`ScenarioSpec`.  With ``faulty`` set, ``f`` axis entries of
+    ``None`` derive the fault-set size instead of ``t``.  This is what
+    lets :meth:`repro.api.Experiment.compile` target one grid type even
+    for experiments pinned to concrete faults or inputs.
     """
 
     n: Any = (7,)
@@ -201,6 +217,8 @@ class ScenarioGrid:
     pattern: Any = ("split",)
     seeds: Any = (0,)
     arms: Tuple[str, ...] = ("early", "class")
+    faulty: Optional[Tuple[int, ...]] = None
+    inputs: Optional[Tuple[Any, ...]] = None
     skip_invalid: bool = False
 
     def __post_init__(self) -> None:
@@ -212,6 +230,10 @@ class ScenarioGrid:
         else:
             self.seeds = _axis(self.seeds)
         self.arms = tuple(self.arms)
+        if self.faulty is not None:
+            self.faulty = tuple(self.faulty)
+        if self.inputs is not None:
+            self.inputs = tuple(self.inputs)
 
     def size(self) -> int:
         """Number of raw combinations (before ``skip_invalid`` filtering)."""
@@ -246,7 +268,12 @@ class ScenarioGrid:
                  self.n, self.t, self.f, self.budget, self.mode,
                  self.adversary, self.generator, self.pattern, self.seeds):
             t_val = default_t(n) if t is None else t
-            f_val = t_val if f is None else f
+            if f is None:
+                f_val = (
+                    len(set(self.faulty)) if self.faulty is not None else t_val
+                )
+            else:
+                f_val = f
             budget_val = (
                 int(budget * n) if isinstance(budget, float) else budget
             )
@@ -261,6 +288,8 @@ class ScenarioGrid:
                 pattern=pattern,
                 seed=seed,
                 arms=self.arms,
+                faulty=self.faulty,
+                inputs=self.inputs,
             )
             try:
                 spec.validate()

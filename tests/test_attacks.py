@@ -198,10 +198,10 @@ class TestMutatingAdversary:
 
     def test_registered_and_campaign_runnable(self):
         from repro.adversary.registry import adversary_names
-        from repro.runtime import ScenarioSpec, run_scenario
+        from repro.runtime import ScenarioSpec, execute_spec
 
         assert "mutating" in adversary_names()
         spec = ScenarioSpec(n=6, t=1, f=1, budget=2, adversary="mutating")
-        row = run_scenario(spec)
+        row = execute_spec(spec)
         assert row["agreed"] and row["valid"]
-        assert row == run_scenario(spec)  # deterministic like any other
+        assert row == execute_spec(spec)  # deterministic like any other

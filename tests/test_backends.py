@@ -306,6 +306,64 @@ class TestBackendEquivalence:
         assert "exceeds capacity" in result.rows[0]["error"]
 
 
+class TestExperimentEquivalence:
+    """ISSUE acceptance: campaigns built through the v1 ``Experiment``
+    front door are byte-identical to the pre-redesign ``run_campaign``
+    path on the 30-scenario grid, over every backend."""
+
+    def experiment(self):
+        from repro.api import Experiment
+
+        return (
+            Experiment(n=[5, 6, 7], budget=[0, 1, 2, 3, 4])
+            .with_adversary(["silent", "noise"])
+        )
+
+    def test_compile_matches_the_legacy_grid(self):
+        assert self.experiment().compile().expand() == GRID_30.expand()
+
+    def test_experiment_rows_byte_identical_across_backends(self, worker_pair):
+        legacy = run_campaign(GRID_30, backend=SerialBackend())
+        blob = sorted_rows_blob(legacy.rows)
+        exp = self.experiment()
+
+        serial = exp.run(backend="serial")
+        pool = exp.run(backend="pool", workers=3)
+        sock = exp.run(
+            backend="socket",
+            connect=[server.address for server in worker_pair],
+            job_timeout=60.0,
+        )
+        for campaign in (serial, pool, sock):
+            assert len(campaign) == 30
+            assert sorted_rows_blob(campaign.rows) == blob
+            assert campaign.rows == legacy.rows  # order, not just set
+        assert "socket" in (sock.backend_summary or "")
+
+    def test_every_new_row_carries_schema_1(self, tmp_path):
+        from repro.runtime import SCHEMA_VERSION
+
+        store = ResultStore(tmp_path / "schema.jsonl")
+        campaign = self.experiment().run(store=store)
+        assert all(row["schema"] == SCHEMA_VERSION == 1
+                   for row in campaign.rows)
+        # ... including as persisted on disk.
+        for line in (tmp_path / "schema.jsonl").read_text().splitlines():
+            assert json.loads(line)["row"]["schema"] == 1
+
+    def test_schema_less_legacy_store_rows_still_load(self, tmp_path):
+        spec = GRID_30.expand()[0]
+        legacy_row = {k: v for k, v in run_campaign([spec]).rows[0].items()
+                      if k != "schema"}
+        store = ResultStore(tmp_path / "legacy.jsonl")
+        store.put(spec.scenario_hash(), legacy_row)
+        store.close()
+        reloaded = ResultStore(tmp_path / "legacy.jsonl")
+        served = run_campaign([spec], store=reloaded)
+        assert served.stats.cached == 1
+        assert served.rows[0] == legacy_row
+
+
 class TestSocketBackendSetup:
     def test_version_mismatch_refused(self, worker_pair, monkeypatch):
         monkeypatch.setattr(socketbackend_module, "PROTOCOL_VERSION", 999)
@@ -676,7 +734,7 @@ class TestMonkeypatchedExecution:
             calls.append(spec)
             return {"scenario": spec.scenario_hash(), "ok": True}
 
-        monkeypatch.setattr(backends_base, "run_scenario", fake)
+        monkeypatch.setattr(backends_base, "execute_spec", fake)
         spec = ScenarioSpec(n=5, t=1, f=1)
         result = run_campaign([spec], backend=SerialBackend())
         assert result.rows[0]["ok"] is True

@@ -16,7 +16,7 @@ from repro.runtime import (
     mean,
     percentile,
     run_campaign,
-    run_scenario,
+    execute_spec,
     summarize,
 )
 from repro.experiments.cli import main
@@ -123,7 +123,7 @@ class TestScenarioGrid:
             n=7, mode="authenticated", adversary="stalling", generator="random",
             budget=4,
         ).expand()
-        row = run_scenario(spec)
+        row = execute_spec(spec)
         assert row["mode"] == "authenticated"
         assert row["adversary"] == "stalling"
         assert row["agreed"]
@@ -132,7 +132,7 @@ class TestScenarioGrid:
 class TestRunScenario:
     def test_row_is_deterministic_and_json_serializable(self):
         spec = ScenarioSpec(n=7, t=2, f=2, budget=4, seed=3)
-        row1, row2 = run_scenario(spec), run_scenario(spec)
+        row1, row2 = execute_spec(spec), execute_spec(spec)
         assert row1 == row2
         assert json.loads(json.dumps(row1)) == row1
         assert row1["scenario"] == spec.scenario_hash()
@@ -295,8 +295,8 @@ class TestCampaignRunner:
             raise RuntimeError("boom")
 
         # backends.base.execute_job is the single execution entry shared
-        # by every backend; patching its run_scenario covers them all.
-        monkeypatch.setattr(backends_base, "run_scenario", boom)
+        # by every backend; patching its execute_spec covers them all.
+        monkeypatch.setattr(backends_base, "execute_spec", boom)
         with pytest.raises(RuntimeError, match="boom"):
             montecarlo.run_trials(7, 2, trials=2, seed=1)
 
