@@ -24,7 +24,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import Telemetry
+from repro.obs.stats import phase_breakdown, wallclock_summary
 from repro.runtime import (
+    CampaignRunner,
     PoolBackend,
     ScenarioGrid,
     SerialBackend,
@@ -92,6 +95,16 @@ def test_backend_throughput_and_equivalence():
             addresses.append(address)
         backend = SocketBackend(addresses, job_timeout=120.0)
         sock, sock_row = timed(backend, f"socket[{WORKERS}]")
+        # Separate instrumented pass (workers still alive): the timed run
+        # above stays untouched by telemetry overhead, and this one
+        # decomposes the socket pipeline into phases for the JSON.
+        telemetry = Telemetry()
+        CampaignRunner(
+            backend=SocketBackend(addresses, job_timeout=120.0),
+            telemetry=telemetry,
+        ).run(GRID)
+        phase_rows = phase_breakdown(telemetry.rows)
+        phase_summary = wallclock_summary(telemetry.rows)
     finally:
         for proc in procs:
             proc.kill()
@@ -110,13 +123,25 @@ def test_backend_throughput_and_equivalence():
     serial_row["vs_serial"] = 1.0
     rows = [serial_row, pool_row, sock_row]
     BENCH_PATH.write_text(
-        json.dumps({"backends": rows}, indent=2, sort_keys=True) + "\n"
+        json.dumps(
+            {
+                "backends": rows,
+                "socket_phases": phase_rows,
+                "socket_summary": phase_summary,
+            },
+            indent=2, sort_keys=True,
+        ) + "\n"
     )
     print_table(
         rows,
         ["backend", "scenarios", "wall_s", "scen_per_s", "vs_serial"],
         f"Campaign backends: {GRID.size()} scenarios, "
         f"pool vs {WORKERS} TCP worker processes",
+    )
+    print_table(
+        phase_rows,
+        ["phase", "count", "total_s", "mean_ms", "share_%"],
+        f"Socket pipeline phases ({WORKERS} workers, instrumented pass)",
     )
     # Loose sanity bar (not a speedup assertion: CI boxes vary): a fleet
     # of real worker processes must not collapse to worse than half the

@@ -5,7 +5,9 @@ Subcommands: ``solve``, ``sweep-budget``, ``sweep-faults``, ``bound``,
 ``--backend {serial,pool,socket}``), ``report`` (store-fed
 EXPERIMENTS.md, tables, and figures via :mod:`repro.reporting`),
 ``worker`` (serve scenario executions over TCP for socket-backend
-campaigns), and ``store`` (JSONL result-store compaction and merging).
+campaigns), ``store`` (JSONL result-store compaction and merging), and
+``stats`` (render a ``campaign --telemetry`` sidecar: phase breakdown,
+per-worker utilization, where the wall-clock went).
 """
 
 import sys

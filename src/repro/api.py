@@ -56,6 +56,7 @@ from .adversary.registry import adversary_spec, make_adversary
 from .core.api import SolveReport, _solve, _solve_baseline
 from .core.wrapper import AUTHENTICATED, MODES, UNAUTHENTICATED
 from .net.adversary import Adversary
+from .obs import Telemetry
 from .predictions.generators import GENERATORS, generate
 from .reporting.render import write_report
 from .reporting.spec import Report, ReportSpec, TableSpec, build_report
@@ -470,6 +471,7 @@ class Experiment:
         chunk_size: Optional[int] = None,
         mp_context: str = "fork",
         lock: bool = True,
+        telemetry: Optional[Union[str, Telemetry]] = None,
     ) -> "Campaign":
         """Execute every scenario (cached rows served from ``store``).
 
@@ -487,6 +489,11 @@ class Experiment:
             chunk_size / mp_context: pool-backend tuning.
             lock: hold the store's exclusive writer lockfile while
                 executing (see :class:`CampaignRunner`).
+            telemetry: observability sidecar -- a JSONL sink path
+                (render it with ``python -m repro stats PATH``) or a
+                :class:`~repro.obs.Telemetry` instance.  Phase timings
+                and worker utilization are recorded alongside the run;
+                result rows are byte-identical with telemetry on or off.
 
         Returns:
             A :class:`Campaign` with rows in scenario order.
@@ -505,6 +512,7 @@ class Experiment:
                 mp_context=mp_context,
                 backend=resolved,
                 lock=lock,
+                telemetry=telemetry,
             )
             result = runner.run(self.scenarios())
             summary = resolved.summary() if resolved is not None else None
@@ -514,6 +522,7 @@ class Experiment:
         return Campaign(
             experiment=self, result=result, store=store,
             backend_summary=summary,
+            telemetry=telemetry if isinstance(telemetry, Telemetry) else None,
         )
 
     def report(
@@ -710,6 +719,7 @@ class Campaign:
         result: CampaignResult,
         store: Optional[ResultStore] = None,
         backend_summary: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.experiment = experiment
         self.result = result
@@ -717,6 +727,11 @@ class Campaign:
         #: One human line from the backend that ran the pending set
         #: (``None`` for the default serial path or when nothing ran).
         self.backend_summary = backend_summary
+        #: The :class:`~repro.obs.Telemetry` the campaign recorded into,
+        #: when the caller passed an instance (sink paths are closed
+        #: after the run; read them with ``repro.obs.load_telemetry`` or
+        #: ``python -m repro stats``).
+        self.telemetry = telemetry
 
     @property
     def rows(self) -> List[Dict[str, Any]]:
@@ -774,6 +789,7 @@ __all__ = [
     "ScenarioGrid",
     "ScenarioSpec",
     "SolveReport",
+    "Telemetry",
     "UNAUTHENTICATED",
     "build_report",
     "solve_spec",

@@ -21,6 +21,12 @@ Examples::
     python -m repro store compact campaign.jsonl --dry-run
     python -m repro store merge all.jsonl shard-a.jsonl shard-b.jsonl
 
+    # Observability: record a telemetry sidecar, then ask where the
+    # wall-clock went (phase breakdown, per-worker utilization).
+    python -m repro campaign --n 9,15 --seeds 5 --workers 4 \
+        --store campaign.jsonl --telemetry tele.jsonl
+    python -m repro stats tele.jsonl
+
 The CLI is a thin shell over the v1 front door
 (:class:`repro.api.Experiment` -- ``campaign`` and ``report`` are
 ``Experiment.run()`` / ``Experiment.report()`` with flags) plus
@@ -40,6 +46,7 @@ from ..api import Experiment
 from ..core.wrapper import AUTHENTICATED, UNAUTHENTICATED, total_round_bound
 from ..lowerbounds.messages import message_lower_bound
 from ..lowerbounds.rounds import round_lower_bound
+from ..obs.logsetup import LOG_LEVELS
 from ..predictions.generators import GENERATORS
 from ..reporting.paper import SCALES as REPORT_SCALES, paper_report_spec
 from ..reporting.render import write_report
@@ -205,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="cProfile the grid's first scenario and print the top-N "
         "cumulative entries plus cache statistics (skips the campaign)",
     )
+    campaign.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write a JSONL telemetry sidecar (span/event rows; result "
+        "rows are unaffected); inspect it with: python -m repro stats PATH",
+    )
 
     report = commands.add_parser(
         "report",
@@ -254,6 +266,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--die-after-jobs", type=int, default=None, metavar="N",
         help="failure injection for tests/CI: accept N jobs, then drop "
         "dead without replying",
+    )
+    worker.add_argument(
+        "--log-level", choices=sorted(LOG_LEVELS), default="info",
+        help="structured log verbosity on stderr (accept/handshake/"
+        "disconnect lines); debug adds per-connection detail",
+    )
+
+    stats = commands.add_parser(
+        "stats",
+        help="render a telemetry sidecar (phase breakdown, per-worker "
+        "utilization, where the wall-clock went)",
+    )
+    stats.add_argument(
+        "telemetry", metavar="TELEMETRY",
+        help="JSONL telemetry file written by campaign --telemetry",
     )
 
     store_cmd = commands.add_parser(
@@ -364,6 +391,7 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
             backend=args.backend,
             connect=args.connect,
             job_timeout=args.job_timeout,
+            telemetry=args.telemetry or None,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -379,6 +407,9 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     )
     if campaign.backend_summary:
         print(campaign.backend_summary)
+    if args.telemetry:
+        print(f"telemetry: wrote {args.telemetry} "
+              f"(inspect with: python -m repro stats {args.telemetry})")
     rows = campaign.ok_rows()
     if args.rows:
         print(format_table(rows, _ROW_COLUMNS, title="scenarios"))
@@ -447,7 +478,8 @@ def _run_worker_command(args: argparse.Namespace) -> int:
     from ..runtime.backends.worker import serve
 
     try:
-        return serve(args.serve, die_after_jobs=args.die_after_jobs)
+        return serve(args.serve, die_after_jobs=args.die_after_jobs,
+                     log_level=args.log_level)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -553,6 +585,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_worker_command(args)
     if args.command == "store":
         return _run_store_command(args)
+    if args.command == "stats":
+        # Imported directly (not via repro.obs) -- see repro.obs.stats.
+        from ..obs.stats import main_stats
+
+        return main_stats(args.telemetry)
     common = dict(
         mode=getattr(args, "mode", UNAUTHENTICATED),
         generator=getattr(args, "generator", "concentrated"),

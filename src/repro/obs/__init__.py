@@ -1,0 +1,47 @@
+"""Observability layer: spans, events, a JSONL telemetry sink, and
+structured logging for the campaign stack.
+
+Import surface (everything here is stdlib-only, so lower layers like
+:mod:`repro.runtime.store` may import it freely):
+
+* :class:`Telemetry`, :func:`span`, :func:`event`, :func:`activate`,
+  :func:`current` -- the span/event API (:mod:`repro.obs.spans`);
+* :func:`load_telemetry`, :data:`TELEMETRY_SCHEMA_VERSION` -- sink I/O;
+* :func:`configure_logging`, :func:`kv` -- structured logging
+  (:mod:`repro.obs.logsetup`).
+
+:mod:`repro.obs.stats` (the ``repro stats`` renderer) is deliberately
+*not* imported here: it pulls in :mod:`repro.reporting`, which imports
+the runtime, which imports this package -- importing it eagerly would
+make the package cyclic.  Import it directly when needed.
+"""
+
+from .logsetup import LOG_LEVELS, configure_logging, kv
+from .spans import (
+    DISABLED,
+    NULL_SPAN,
+    Span,
+    Telemetry,
+    TELEMETRY_SCHEMA_VERSION,
+    activate,
+    current,
+    event,
+    load_telemetry,
+    span,
+)
+
+__all__ = [
+    "DISABLED",
+    "LOG_LEVELS",
+    "NULL_SPAN",
+    "Span",
+    "Telemetry",
+    "TELEMETRY_SCHEMA_VERSION",
+    "activate",
+    "configure_logging",
+    "current",
+    "event",
+    "kv",
+    "load_telemetry",
+    "span",
+]

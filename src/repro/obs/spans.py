@@ -1,0 +1,311 @@
+"""Span/event telemetry: monotonic-clock timing with a JSONL sink.
+
+The campaign stack's measurement layer.  The paper's contribution is
+exact complexity accounting (rounds, messages, bits -- counted precisely
+in :mod:`repro.net.metrics`); this module gives the *runtime* the same
+rigor: every phase of a campaign -- dispatch, serialize, queue wait,
+execute, store append -- can be wrapped in a :func:`span` or recorded as
+an :func:`event`, and the resulting rows land in a schema-stamped JSONL
+sidecar next to the result store.  Result rows themselves are never
+touched: telemetry is an observation channel, not a data channel, so
+campaigns stay byte-identical with telemetry on or off.
+
+Design constraints, in order:
+
+* **near-zero overhead when disabled** -- the common case.  ``span()``
+  against a disabled telemetry returns one shared no-op context manager
+  (no per-call allocation besides the interpreter's transient kwargs
+  dict), and ``event()`` returns after a single attribute check;
+* **thread-safe** -- spans nest per thread (a ``threading.local`` stack
+  tracks parentage) and sink appends serialize under one lock;
+* **process-safe** -- a forked child (``PoolBackend`` workers inherit
+  the active telemetry) silently drops records instead of interleaving
+  writes into the parent's sink; worker-side timings travel back through
+  the backend result channel instead (see
+  :func:`repro.runtime.backends.base.timed_execute_job`);
+* **monotonic clocks** -- all durations come from ``time.perf_counter``;
+  wall time appears once, in the sink's ``meta`` header row, so rows
+  order and subtract correctly regardless of clock adjustments.
+
+Activation follows the :mod:`logging` model: one process-global current
+telemetry (:func:`activate` / :func:`current`), defaulting to a disabled
+singleton, so instrumentation points never need a telemetry object
+threaded through their signatures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Version stamp carried by every telemetry row (the ``schema`` field).
+#: Independent of the result-row ``SCHEMA_VERSION``: telemetry rows live
+#: in their own sidecar file with their own layout contract.  Bump on
+#: any incompatible row change; readers refuse rows from the future.
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+class _NullSpan:
+    """The shared no-op span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+#: The one disabled-path span instance; identity-tested by the
+#: zero-allocation tests.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed section; created by :meth:`Telemetry.span`.
+
+    Use as a context manager.  ``set(**attrs)`` attaches attributes any
+    time before exit (e.g. a result computed inside the block).  The
+    record is written on ``__exit__`` with the measured duration, the
+    owning thread, and the enclosing span's name as ``parent``.
+    """
+
+    __slots__ = ("telemetry", "name", "attrs", "parent", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self.telemetry = telemetry
+        self.name = name
+        self.attrs = attrs
+        self.parent: Optional[str] = None
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self.telemetry._stack()
+        self.parent = stack[-1].name if stack else None
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> bool:
+        end = time.perf_counter()
+        stack = self.telemetry._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.telemetry.record({
+            "kind": "span",
+            "name": self.name,
+            "start": round(self._start - self.telemetry.epoch_perf, 6),
+            "dur": round(end - self._start, 6),
+            "parent": self.parent,
+            "attrs": self.attrs,
+        })
+        return False
+
+
+class Telemetry:
+    """A telemetry collector: in-memory rows plus an optional JSONL sink.
+
+    Args:
+        path: JSONL sink file; ``None`` keeps rows in memory only (every
+            recorded row is always appended to :attr:`rows` either way).
+        enabled: a disabled telemetry records nothing and hands out the
+            shared :data:`NULL_SPAN`; :data:`DISABLED` is the canonical
+            disabled instance.
+
+    The first sink line is a ``meta`` row anchoring the monotonic-clock
+    offsets (every span/event ``start``/``at`` is seconds since
+    :attr:`epoch_perf`) to one wall-clock timestamp.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None,
+                 enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.path = Path(path) if path is not None else None
+        self.rows: List[Dict[str, Any]] = []
+        self.epoch_wall = time.time()
+        self.epoch_perf = time.perf_counter()
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._handle: Optional[Any] = None
+        if enabled:
+            self.record({"kind": "meta", "wall": self.epoch_wall})
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Union[Span, _NullSpan]:
+        """A timed context manager; the no-op singleton when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record one point-in-time row (no duration)."""
+        if not self.enabled:
+            return
+        self.record({
+            "kind": "event",
+            "name": name,
+            "at": round(time.perf_counter() - self.epoch_perf, 6),
+            "attrs": attrs,
+        })
+
+    def record(self, row: Dict[str, Any]) -> None:
+        """Stamp and persist one row (schema, pid, thread).
+
+        A row recorded from a process other than the one that created
+        this telemetry (a forked pool worker) is dropped: two processes
+        appending to one JSONL handle would interleave partial lines.
+        Worker-side measurements must travel back through the backend's
+        result channel instead.
+        """
+        if not self.enabled or os.getpid() != self._pid:
+            return
+        row.setdefault("schema", TELEMETRY_SCHEMA_VERSION)
+        row.setdefault("pid", self._pid)
+        row.setdefault("thread", threading.current_thread().name)
+        with self._lock:
+            self.rows.append(row)
+            if self.path is not None:
+                if self._handle is None or self._handle.closed:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._handle = open(self.path, "a", encoding="utf-8")
+                self._handle.write(
+                    json.dumps(row, sort_keys=True, default=str) + "\n"
+                )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and release the sink handle (reopened on next record)."""
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (f"<Telemetry {state} rows={len(self.rows)} "
+                f"path={str(self.path) if self.path else None!r}>")
+
+
+#: The always-off telemetry every process starts with.
+DISABLED = Telemetry(enabled=False)
+
+_current: Telemetry = DISABLED
+_current_lock = threading.Lock()
+
+
+def current() -> Telemetry:
+    """The process-global active telemetry (disabled by default)."""
+    return _current
+
+
+class _Activation:
+    """Context manager restoring the previously active telemetry."""
+
+    __slots__ = ("telemetry", "_previous")
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        self._previous: Optional[Telemetry] = None
+
+    def __enter__(self) -> Telemetry:
+        global _current
+        with _current_lock:
+            self._previous = _current
+            _current = self.telemetry
+        return self.telemetry
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _current
+        with _current_lock:
+            _current = self._previous or DISABLED
+
+
+def activate(telemetry: Telemetry) -> _Activation:
+    """Make ``telemetry`` the process-global current telemetry for the
+    duration of a ``with`` block (the previous one is restored on exit).
+
+    Activation is process-global by design -- instrumentation points
+    (store appends, backend dispatch, worker drivers) read
+    :func:`current` instead of threading a telemetry object through
+    every signature.  Two concurrent campaigns in one process would
+    therefore share a sink; campaigns already exclude each other via the
+    store writer lock, so this is a documented non-goal, not a race.
+    """
+    return _Activation(telemetry)
+
+
+def span(name: str, **attrs: Any) -> Union[Span, _NullSpan]:
+    """A span against the current telemetry (no-op singleton when off)."""
+    telemetry = _current
+    if not telemetry.enabled:
+        return NULL_SPAN
+    return Span(telemetry, name, attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """An event against the current telemetry (dropped when off)."""
+    telemetry = _current
+    if telemetry.enabled:
+        telemetry.event(name, **attrs)
+
+
+def load_telemetry(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a telemetry sink back into rows, oldest first.
+
+    Raises ``ValueError`` on rows stamped with a schema this reader does
+    not understand; skips nothing silently except blank lines (sinks are
+    single-writer, so unlike the result store there is no partial-line
+    recovery story -- a torn line is a real error worth surfacing).
+    """
+    rows: List[Dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{number}: undecodable telemetry row: "
+                             f"{exc}") from exc
+        if not isinstance(row, dict) or "kind" not in row:
+            raise ValueError(f"{path}:{number}: not a telemetry row")
+        schema = row.get("schema")
+        if schema != TELEMETRY_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}:{number}: telemetry schema {schema!r} is not "
+                f"supported (this reader speaks {TELEMETRY_SCHEMA_VERSION})"
+            )
+        rows.append(row)
+    return rows

@@ -1,0 +1,303 @@
+"""Aggregate a telemetry sink into phase/worker breakdowns: ``repro stats``.
+
+Everything here renders *from the sink alone* -- no result store, no live
+campaign -- so a telemetry file mailed from a remote run is enough to
+answer "where did the wall-clock go".  Three views:
+
+* **phase breakdown** -- per-phase totals across every job: execute,
+  serialize, queue wait, in-flight, worker-side deserialize/queue, the
+  residual wire+dispatch overhead, store appends, lock wait;
+* **per-worker utilization** -- busy time, window occupancy, completed
+  jobs, and ping RTTs per socket worker;
+* **wall-clock summary** -- the campaign span against the accounted
+  phases, quantifying exactly how much of a <1x-speedup backend's time
+  is overhead rather than execution.
+
+Rendering reuses :func:`repro.reporting.render.format_table` and
+:func:`~repro.reporting.render.sparkline` (imported lazily: this module
+sits above the reporting layer, and importing it from ``repro.obs``'s
+``__init__`` would be cyclic -- see the package docstring).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .spans import load_telemetry
+
+#: Job-event phase fields, in pipeline order, with display labels.
+#: ``queue_s`` overlaps other jobs' phases by construction (every queued
+#: job waits concurrently), so it is reported but excluded from the
+#: accounted-time arithmetic.
+_JOB_PHASES = (
+    ("queue_s", "queue wait*"),
+    ("serialize_s", "serialize"),
+    ("inflight_s", "in flight"),
+    ("deser_s", "deserialize (worker)"),
+    ("worker_queue_s", "queue (worker)"),
+    ("exec_s", "execute"),
+)
+
+#: Span names folded into the breakdown as their own phases.
+_SPAN_PHASES = (
+    ("store.lock", "lock wait"),
+    ("store.append", "store append"),
+    ("store.sync", "store sync"),
+)
+
+
+def _events(rows: Sequence[Dict[str, Any]], name: str) -> List[Dict[str, Any]]:
+    return [row for row in rows
+            if row.get("kind") == "event" and row.get("name") == name]
+
+
+def _spans(rows: Sequence[Dict[str, Any]], name: str) -> List[Dict[str, Any]]:
+    return [row for row in rows
+            if row.get("kind") == "span" and row.get("name") == name]
+
+
+def campaign_wall(rows: Sequence[Dict[str, Any]]) -> Optional[float]:
+    """Wall-clock seconds of the (last) campaign span, if recorded."""
+    spans = _spans(rows, "campaign")
+    if not spans:
+        return None
+    return float(spans[-1].get("dur") or 0.0)
+
+
+def phase_breakdown(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-phase totals over every ``job`` event and store/lock span.
+
+    Returns table rows ``{phase, count, total_s, mean_ms, share_%}``
+    where share is against the campaign wall clock (blank without a
+    campaign span).  Includes a synthetic ``wire+dispatch`` phase: the
+    per-job residual ``inflight - deserialize - worker queue - execute``,
+    i.e. time a job was in flight but provably not executing -- framing,
+    TCP, and driver loop overhead.
+    """
+    jobs = _events(rows, "job")
+    wall = campaign_wall(rows)
+    totals: Dict[str, List[float]] = defaultdict(list)
+    for job in jobs:
+        attrs = job.get("attrs") or {}
+        for field, label in _JOB_PHASES:
+            value = attrs.get(field)
+            if value is not None:
+                totals[label].append(float(value))
+        inflight = attrs.get("inflight_s")
+        if inflight is not None:
+            residual = float(inflight)
+            for field in ("deser_s", "worker_queue_s", "exec_s"):
+                residual -= float(attrs.get(field) or 0.0)
+            totals["wire+dispatch"].append(max(residual, 0.0))
+    for span_name, label in _SPAN_PHASES:
+        for span in _spans(rows, span_name):
+            totals[label].append(float(span.get("dur") or 0.0))
+    for connect in _events(rows, "socket.connect"):
+        value = (connect.get("attrs") or {}).get("dur_s")
+        if value is not None:
+            totals["connect"].append(float(value))
+
+    order = [label for _, label in _JOB_PHASES]
+    order.insert(order.index("execute"), "wire+dispatch")
+    order += ["connect"] + [label for _, label in _SPAN_PHASES]
+    breakdown = []
+    for label in order:
+        values = totals.get(label)
+        if not values:
+            continue
+        total = sum(values)
+        breakdown.append({
+            "phase": label,
+            "count": len(values),
+            "total_s": round(total, 4),
+            "mean_ms": round(total / len(values) * 1e3, 3),
+            "share_%": round(total / wall * 100, 1) if wall else "",
+        })
+    return breakdown
+
+
+def worker_utilization(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-worker table from ``socket.worker``/``socket.connect``/
+    ``socket.ping``/``job`` events: jobs completed, busy time,
+    utilization, mean/peak pipeline window, mean ping RTT."""
+    jobs_by_worker: Dict[str, int] = defaultdict(int)
+    for job in _events(rows, "job"):
+        worker = (job.get("attrs") or {}).get("worker")
+        if worker:
+            jobs_by_worker[worker] += 1
+    rtts: Dict[str, List[float]] = defaultdict(list)
+    for name in ("socket.connect", "socket.ping"):
+        for event in _events(rows, name):
+            attrs = event.get("attrs") or {}
+            if attrs.get("worker") and attrs.get("rtt_s") is not None:
+                rtts[attrs["worker"]].append(float(attrs["rtt_s"]))
+    table = []
+    for event in _events(rows, "socket.worker"):
+        attrs = event.get("attrs") or {}
+        worker = attrs.get("worker", "?")
+        samples = rtts.get(worker)
+        table.append({
+            "worker": worker,
+            "jobs": jobs_by_worker.get(worker, 0),
+            "busy_s": attrs.get("busy_s"),
+            "util_%": round(float(attrs.get("utilization") or 0.0) * 100, 1),
+            "mean_win": attrs.get("mean_window"),
+            "peak_win": attrs.get("peak_window"),
+            "rtt_ms": (round(sum(samples) / len(samples) * 1e3, 3)
+                       if samples else ""),
+        })
+    return sorted(table, key=lambda row: str(row["worker"]))
+
+
+def coverage(rows: Sequence[Dict[str, Any]]) -> Optional[float]:
+    """Fraction of the campaign wall clock the telemetry accounts for.
+
+    Socket campaigns: mean over workers of ``(connect + sum(serialize +
+    in-flight)) / wall`` -- phases that occupy the worker's driver thread
+    end to end, so with one worker and ``window=1`` this approaches 1.0.
+    Local campaigns: ``(execute + store phases) / wall``.  ``None``
+    without a campaign span.
+    """
+    wall = campaign_wall(rows)
+    if not wall:
+        return None
+    busy: Dict[str, float] = defaultdict(float)
+    local_exec = 0.0
+    for job in _events(rows, "job"):
+        attrs = job.get("attrs") or {}
+        worker = attrs.get("worker")
+        if worker and attrs.get("inflight_s") is not None:
+            busy[worker] += float(attrs.get("serialize_s") or 0.0)
+            busy[worker] += float(attrs["inflight_s"])
+        else:
+            local_exec += float(attrs.get("exec_s") or 0.0)
+    for connect in _events(rows, "socket.connect"):
+        attrs = connect.get("attrs") or {}
+        if attrs.get("worker") and attrs.get("dur_s") is not None:
+            busy[attrs["worker"]] += float(attrs["dur_s"])
+    if busy:
+        return sum(min(total / wall, 1.0) for total in busy.values()) / len(busy)
+    store_s = sum(
+        float(span.get("dur") or 0.0)
+        for name, _ in _SPAN_PHASES
+        for span in _spans(rows, name)
+    )
+    return min((local_exec + store_s) / wall, 1.0)
+
+
+def wallclock_summary(rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The "where did the wall-clock go" numbers, as one flat dict."""
+    jobs = _events(rows, "job")
+    exec_total = sum(
+        float((job.get("attrs") or {}).get("exec_s") or 0.0) for job in jobs
+    )
+    # Overhead = every second a job spent in the pipeline but not
+    # executing: serialize + (in flight - execute), i.e. wire framing,
+    # worker-side queueing, and deserialization combined.
+    overhead = 0.0
+    for job in jobs:
+        attrs = job.get("attrs") or {}
+        inflight = attrs.get("inflight_s")
+        if inflight is None:
+            continue
+        overhead += float(attrs.get("serialize_s") or 0.0)
+        overhead += max(float(inflight) - float(attrs.get("exec_s") or 0.0),
+                        0.0)
+    stats_events = _events(rows, "campaign.stats")
+    campaign_stats = (stats_events[-1].get("attrs") or {}) if stats_events else {}
+    return {
+        "wall_s": campaign_wall(rows),
+        "jobs": len(jobs),
+        "execute_s": round(exec_total, 4),
+        "overhead_s": round(overhead, 4),
+        "coverage": coverage(rows),
+        "backend": campaign_stats.get("backend"),
+        "executed": campaign_stats.get("executed"),
+        "cached": campaign_stats.get("cached"),
+        "failed": campaign_stats.get("failed"),
+    }
+
+
+def render_stats(rows: Sequence[Dict[str, Any]],
+                 source: Optional[str] = None) -> str:
+    """The full ``repro stats`` text: header, phase table, worker table,
+    execute-time sparkline, wall-clock summary."""
+    from ..reporting.render import format_table, sparkline
+
+    summary = wallclock_summary(rows)
+    lines = []
+    header = f"telemetry: {len(rows)} row(s)"
+    if source:
+        header += f" from {source}"
+    if summary["backend"]:
+        header += f" | backend {summary['backend']}"
+    if summary["wall_s"] is not None:
+        header += f" | campaign wall {summary['wall_s']:.3f}s"
+    lines.append(header)
+
+    breakdown = phase_breakdown(rows)
+    if breakdown:
+        lines.append("")
+        lines.append(format_table(
+            breakdown, ["phase", "count", "total_s", "mean_ms", "share_%"],
+            title="phase breakdown",
+        ))
+        if any(row["phase"] == "queue wait*" for row in breakdown):
+            lines.append("* queued jobs wait concurrently; queue wait "
+                         "overlaps other phases and can exceed the wall")
+
+    workers = worker_utilization(rows)
+    if workers:
+        lines.append("")
+        lines.append(format_table(
+            workers,
+            ["worker", "jobs", "busy_s", "util_%", "mean_win", "peak_win",
+             "rtt_ms"],
+            title="worker utilization",
+        ))
+
+    exec_ms = [
+        float((job.get("attrs") or {}).get("exec_s") or 0.0) * 1e3
+        for job in _events(rows, "job")
+    ]
+    if exec_ms:
+        lines.append("")
+        lines.append(f"execute ms over time: {sparkline(exec_ms)} "
+                     f"(min {min(exec_ms):.2f}, max {max(exec_ms):.2f})")
+
+    lines.append("")
+    wall = summary["wall_s"]
+    parts = [f"jobs {summary['jobs']}",
+             f"execute {summary['execute_s']:.3f}s"]
+    if summary["overhead_s"]:
+        parts.append(f"dispatch+wire+queue overhead {summary['overhead_s']:.3f}s")
+        if summary["execute_s"]:
+            parts.append(
+                "overhead/execute ratio "
+                f"{summary['overhead_s'] / summary['execute_s']:.2f}x"
+            )
+    if wall:
+        parts.append(f"wall {wall:.3f}s")
+    if summary["coverage"] is not None:
+        parts.append(f"telemetry accounts for {summary['coverage'] * 100:.1f}%"
+                     " of wall time")
+    lines.append("where did the wall-clock go: " + " | ".join(parts))
+    return "\n".join(lines)
+
+
+def main_stats(path: Union[str, Path]) -> int:
+    """``python -m repro stats TELEMETRY``: render a sink file; exit 0."""
+    import sys
+
+    try:
+        rows = load_telemetry(path)
+    except FileNotFoundError:
+        print(f"error: no such telemetry file: {path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_stats(rows, source=str(path)))
+    return 0

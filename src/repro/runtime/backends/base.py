@@ -24,6 +24,7 @@ Contract:
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..execute import execute_spec
@@ -33,6 +34,8 @@ from ..scenario import ScenarioSpec
 Job = Tuple[str, ScenarioSpec]
 #: One backend result: ``(scenario hash, ok, row-or-error)``.
 JobResult = Tuple[str, bool, Dict[str, Any]]
+#: A job result plus its timing sidecar: ``(hash, ok, row, timing)``.
+TimedJobResult = Tuple[str, bool, Dict[str, Any], Dict[str, Any]]
 
 
 class BackendError(RuntimeError):
@@ -52,6 +55,29 @@ def execute_job(job: Job) -> JobResult:
         return key, True, execute_spec(spec)
     except Exception as exc:  # noqa: BLE001 - reported as a failed row
         return key, False, {"error": f"{type(exc).__name__}: {exc}"}
+
+
+def timed_execute_job(job: Job) -> TimedJobResult:
+    """:func:`execute_job` plus a timing sidecar; never raises.
+
+    The telemetry execution path.  The sidecar carries the measured
+    execute wall time (``exec_s``, monotonic clock) and the scenario's
+    cache statistics (``perf``, from :func:`repro.perf.cache_report` via
+    ``execute_spec(collect_perf=True)``).  Crucially the *row* returned
+    is byte-identical to the plain :func:`execute_job` row: the perf
+    block is popped out of the row and into the sidecar, so telemetry
+    never leaks into stored results.  Module-level so a ``fork``/``spawn``
+    pool can pickle it like ``execute_job``.
+    """
+    key, spec = job
+    start = time.perf_counter()
+    try:
+        row = execute_spec(spec, collect_perf=True)
+    except Exception as exc:  # noqa: BLE001 - reported as a failed row
+        timing = {"exec_s": time.perf_counter() - start}
+        return key, False, {"error": f"{type(exc).__name__}: {exc}"}, timing
+    timing = {"exec_s": time.perf_counter() - start, "perf": row.pop("perf", None)}
+    return key, True, row, timing
 
 
 class Backend:

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
-from .base import Backend, Job, JobResult, execute_job
+from ...obs.spans import current
+from .base import Backend, Job, JobResult, execute_job, timed_execute_job
 
 
 class SerialBackend(Backend):
@@ -20,5 +21,20 @@ class SerialBackend(Backend):
     distributed = False
 
     def submit(self, pending: List[Job]) -> Iterator[JobResult]:
-        """Yield results lazily so the runner stores rows as they finish."""
-        return map(execute_job, pending)
+        """Yield results lazily so the runner stores rows as they finish.
+
+        With telemetry active, each job runs through the timed path and
+        its execute time + cache stats are recorded as a ``job`` event;
+        the yielded rows are byte-identical either way.
+        """
+        if not current().enabled:
+            return map(execute_job, pending)
+        return self._submit_instrumented(pending)
+
+    def _submit_instrumented(self, pending: List[Job]) -> Iterator[JobResult]:
+        telemetry = current()
+        for job in pending:
+            key, ok, row, timing = timed_execute_job(job)
+            telemetry.event("job", key=key[:12], backend=self.name, ok=ok,
+                            **timing)
+            yield key, ok, row

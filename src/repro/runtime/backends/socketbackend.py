@@ -28,8 +28,10 @@ from __future__ import annotations
 import queue
 import socket
 import threading
+import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ...obs.spans import Telemetry, current
 from .base import Backend, BackendError, Job, JobResult
 from .wire import (
     PROTOCOL_VERSION,
@@ -44,6 +46,49 @@ from .wire import (
 _DONE = object()
 
 
+class _Occupancy:
+    """Pipeline-window occupancy integral for one worker link.
+
+    Tracks how many jobs are in flight over time (driven only from the
+    link's single driver thread, so no locking): ``busy_s`` is time with
+    at least one job in flight, the integral divided by wall time is the
+    mean window depth.  This is the number the ROADMAP's batching work
+    must move -- a mean window well below the configured ``window`` means
+    the driver, not the worker, is the bottleneck.
+    """
+
+    __slots__ = ("started", "last", "count", "busy_s", "integral", "peak")
+
+    def __init__(self) -> None:
+        self.started = self.last = time.perf_counter()
+        self.count = 0
+        self.busy_s = 0.0
+        self.integral = 0.0
+        self.peak = 0
+
+    def change(self, delta: int) -> None:
+        now = time.perf_counter()
+        elapsed = now - self.last
+        if self.count > 0:
+            self.busy_s += elapsed
+        self.integral += self.count * elapsed
+        self.last = now
+        self.count += delta
+        if self.count > self.peak:
+            self.peak = self.count
+
+    def summary(self) -> Dict[str, float]:
+        self.change(0)  # flush the open interval
+        wall = max(self.last - self.started, 1e-9)
+        return {
+            "wall_s": round(wall, 6),
+            "busy_s": round(self.busy_s, 6),
+            "utilization": round(self.busy_s / wall, 4),
+            "mean_window": round(self.integral / wall, 3),
+            "peak_window": self.peak,
+        }
+
+
 class _WorkerLink:
     """Driver-side state for one connected worker."""
 
@@ -56,6 +101,17 @@ class _WorkerLink:
         self.jobs: "queue.Queue[Any]" = queue.Queue()
         self.finishing = False
         self.completed = 0
+        #: Handshake duration (set by ``_connect_all``).
+        self.connect_s = 0.0
+        #: Measured ping round trips, oldest first (the post-handshake
+        #: calibration ping plus any heartbeat pings; GIL-atomic appends).
+        self.ping_rtts: List[float] = []
+        #: Telemetry only: per-key ``(queue_s, serialize_s, sent_perf)``.
+        self.phase_meta: Dict[str, Tuple[float, float, float]] = {}
+
+    def enqueue(self, key: str, spec: Any) -> None:
+        """Queue one job, stamped with its enqueue time (queue-wait phase)."""
+        self.jobs.put((key, spec, time.perf_counter()))
 
     def drain_jobs(self) -> List[Job]:
         """Empty the job queue, dropping ``_DONE`` sentinels.
@@ -63,6 +119,7 @@ class _WorkerLink:
         Both salvage paths -- the driver thread's death report and the
         main loop's handling of it -- must use this, so jobs requeued
         onto a link in either window are never stranded unread.
+        Enqueue-time stamps are stripped: salvage returns plain jobs.
         """
         drained: List[Job] = []
         while True:
@@ -71,7 +128,7 @@ class _WorkerLink:
             except queue.Empty:
                 return drained
             if job is not _DONE:
-                drained.append(job)
+                drained.append((job[0], job[1]))
 
     def close(self) -> None:
         try:
@@ -135,9 +192,12 @@ class SocketBackend(Backend):
 
     # -- connection setup ---------------------------------------------
 
-    def _connect(self, address: str) -> socket.socket:
+    def _connect(self, address: str) -> Tuple[socket.socket, Optional[float]]:
+        """Handshake with one worker; returns the socket and a measured
+        ping round trip (the first latency sample for :meth:`summary`)."""
         host, port = parse_address(address)
         sock = socket.create_connection((host, port), timeout=self.connect_timeout)
+        rtt: Optional[float] = None
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             import os
@@ -157,20 +217,30 @@ class SocketBackend(Backend):
                 raise BackendError(
                     f"worker {address} spoke unexpected handshake {doc!r}"
                 )
+            # Calibration ping: one measured round trip per connection, so
+            # the RTT summary has a latency signal even on campaigns too
+            # fast to ever trip the heartbeat path.
+            ping_start = time.perf_counter()
+            send_frame(sock, {"type": "ping"})
+            pong = recv_frame(sock)
+            if pong is not None and pong.get("type") == "pong":
+                rtt = time.perf_counter() - ping_start
         except (WireError, OSError) as exc:
             sock.close()
             raise BackendError(f"handshake with {address} failed: {exc}") from exc
         except BackendError:
             sock.close()
             raise
-        return sock
+        return sock, rtt
 
     def _connect_all(self) -> Tuple[List[_WorkerLink], List[str]]:
+        telemetry = current()
         links: List[_WorkerLink] = []
         unreachable: List[str] = []
         for address in self.addresses:
+            connect_start = time.perf_counter()
             try:
-                sock = self._connect(address)
+                sock, rtt = self._connect(address)
             except (BackendError, OSError) as exc:
                 if self.require_all:
                     for link in links:
@@ -180,7 +250,16 @@ class SocketBackend(Backend):
                     ) from exc
                 unreachable.append(address)
                 continue
-            links.append(_WorkerLink(address, sock))
+            link = _WorkerLink(address, sock)
+            link.connect_s = time.perf_counter() - connect_start
+            if rtt is not None:
+                link.ping_rtts.append(rtt)
+            telemetry.event(
+                "socket.connect", worker=address,
+                dur_s=round(link.connect_s, 6),
+                rtt_s=round(rtt, 6) if rtt is not None else None,
+            )
+            links.append(link)
         if not links:
             raise BackendError(
                 "no socket workers reachable: " + ", ".join(self.addresses)
@@ -193,6 +272,7 @@ class SocketBackend(Backend):
         """Shard, stream, requeue, dedup; yields one result per key."""
         if not pending:
             return
+        telemetry = current()
         links, unreachable = self._connect_all()
         stats = self.last_stats = {
             "workers": len(links),
@@ -201,9 +281,10 @@ class SocketBackend(Backend):
             "requeued": 0,
             "duplicates": 0,
             "per_worker": {},
+            "ping_rtt_s": [],
         }
         for key, spec in pending:
-            links[_shard(key, len(links))].jobs.put((key, spec))
+            links[_shard(key, len(links))].enqueue(key, spec)
 
         events: "queue.Queue[Tuple[str, _WorkerLink, Any]]" = queue.Queue()
         threads = []
@@ -242,13 +323,18 @@ class SocketBackend(Backend):
                     leftovers = [
                         job for job in salvaged if job[0] in remaining
                     ]
+                    telemetry.event("socket.worker_dead", worker=link.address,
+                                    salvaged=len(leftovers))
                     if not live:
                         raise BackendError(
                             f"all {len(links)} socket worker(s) died with "
                             f"{len(remaining)} scenario(s) unfinished"
                         )
                     for key, spec in leftovers:
-                        live[_shard(key, len(live))].jobs.put((key, spec))
+                        live[_shard(key, len(live))].enqueue(key, spec)
+                    if leftovers:
+                        telemetry.event("socket.requeue", count=len(leftovers),
+                                        survivors=len(live))
                     stats["requeued"] += len(leftovers)
         finally:
             for link in live:
@@ -260,6 +346,9 @@ class SocketBackend(Backend):
             stats["per_worker"] = {
                 link.address: link.completed for link in links
             }
+            stats["ping_rtt_s"] = [
+                rtt for link in links for rtt in link.ping_rtts
+            ]
 
     def summary(self) -> str:
         stats = self.last_stats
@@ -280,6 +369,13 @@ class SocketBackend(Backend):
         )
         if completed:
             parts.append(f"completed {completed}")
+        rtts = stats.get("ping_rtt_s") or []
+        if rtts:
+            parts.append(
+                "ping rtt ms min/mean/max "
+                f"{min(rtts) * 1e3:.2f}/{sum(rtts) / len(rtts) * 1e3:.2f}/"
+                f"{max(rtts) * 1e3:.2f}"
+            )
         return " | ".join(parts)
 
     # -- per-worker driver thread -------------------------------------
@@ -289,10 +385,12 @@ class SocketBackend(Backend):
         link: _WorkerLink,
         events: "queue.Queue[Tuple[str, _WorkerLink, Any]]",
     ) -> None:
+        telemetry = current()
+        occupancy = _Occupancy() if telemetry.enabled else None
         inflight: Dict[str, Job] = {}
         try:
             while True:
-                self._fill_window(link, inflight)
+                self._fill_window(link, inflight, telemetry, occupancy)
                 if link.finishing and not inflight:
                     self._farewell(link)
                     return
@@ -301,6 +399,9 @@ class SocketBackend(Backend):
                     key = doc.get("key")
                     job = inflight.pop(key, None)
                     if job is not None:
+                        if occupancy is not None:
+                            occupancy.change(-1)
+                            self._record_job(telemetry, link, key, doc)
                         events.put((
                             "result", link,
                             (key, bool(doc.get("ok")), doc.get("row") or {}),
@@ -311,26 +412,81 @@ class SocketBackend(Backend):
             # in-flight scenarios unresolved and submit() blocked forever.
             leftovers = list(inflight.values()) + link.drain_jobs()
             events.put(("dead", link, leftovers))
+        finally:
+            if occupancy is not None:
+                telemetry.event("socket.worker", worker=link.address,
+                                connect_s=round(link.connect_s, 6),
+                                **occupancy.summary())
 
-    def _fill_window(self, link: _WorkerLink, inflight: Dict[str, Job]) -> None:
+    def _record_job(self, telemetry: Telemetry, link: _WorkerLink,
+                    key: str, doc: Dict[str, Any]) -> None:
+        """One wide ``job`` event decomposing this result into phases.
+
+        Driver-side phases come from the link's stamp dict (queue wait,
+        serialize, in-flight); worker-side phases arrive in the result
+        frame's ``timing`` sidecar (deserialize, worker queue, execute,
+        cache stats).  ``inflight_s - deser_s - worker_queue_s - exec_s``
+        is the wire + framing overhead -- the number that quantifies the
+        backend's <1x speedup.
+        """
+        timing = doc.get("timing") or {}
+        attrs: Dict[str, Any] = {
+            "key": key[:12],
+            "backend": self.name,
+            "worker": link.address,
+            "ok": bool(doc.get("ok")),
+            "worker_queue_s": timing.get("queue_s"),
+            "deser_s": timing.get("deser_s"),
+            "exec_s": timing.get("exec_s"),
+            "perf": timing.get("perf"),
+        }
+        meta = link.phase_meta.pop(key, None)
+        if meta is not None:
+            queue_s, serialize_s, sent_perf = meta
+            attrs["queue_s"] = round(queue_s, 6)
+            attrs["serialize_s"] = round(serialize_s, 6)
+            attrs["inflight_s"] = round(time.perf_counter() - sent_perf, 6)
+        telemetry.event("job", **attrs)
+
+    def _fill_window(
+        self,
+        link: _WorkerLink,
+        inflight: Dict[str, Job],
+        telemetry: Telemetry,
+        occupancy: Optional[_Occupancy],
+    ) -> None:
         """Top up the in-flight window; block only when truly idle."""
         while not link.finishing and len(inflight) < self.window:
             try:
-                job = link.jobs.get(block=not inflight)
+                item = link.jobs.get(block=not inflight)
             except queue.Empty:
                 return
-            if job is _DONE:
+            if item is _DONE:
                 link.finishing = True
                 return
-            key, spec = job
+            key, spec, enqueued_at = item
+            if occupancy is not None:
+                occupancy.change(+1)
+            serialize_start = time.perf_counter()
+            frame = {
+                "type": "job", "key": key, "spec": spec.to_dict(),
+                "sent_at": time.time(),
+            }
+            if telemetry.enabled:
+                frame["telemetry"] = True
             try:
-                send_frame(link.sock, {
-                    "type": "job", "key": key, "spec": spec.to_dict(),
-                })
+                send_frame(link.sock, frame)
             except OSError as exc:
-                inflight[key] = job  # count it as lost in-flight work
+                inflight[key] = (key, spec)  # count it as lost in-flight work
                 raise _WorkerDied(str(exc)) from exc
-            inflight[key] = job
+            if telemetry.enabled:
+                sent_perf = time.perf_counter()
+                link.phase_meta[key] = (
+                    serialize_start - enqueued_at,
+                    sent_perf - serialize_start,
+                    sent_perf,
+                )
+            inflight[key] = (key, spec)
 
     def _await_frame(self, link: _WorkerLink) -> Dict[str, Any]:
         """One frame from the worker, with ping-based liveness checking.
@@ -353,11 +509,21 @@ class SocketBackend(Backend):
 
     def _ping(self, link: _WorkerLink) -> Optional[Dict[str, Any]]:
         try:
+            ping_start = time.perf_counter()
             send_frame(link.sock, {"type": "ping"})
             link.sock.settimeout(self.ping_grace)
-            return link.reader.recv()
+            doc = link.reader.recv()
         except (socket.timeout, WireError, OSError) as exc:
             raise _WorkerDied(f"no heartbeat: {exc}") from exc
+        # Only a pong reply is a clean round-trip sample; a result frame
+        # that beat the pong back proves liveness but times the scenario,
+        # not the wire.
+        if doc is not None and doc.get("type") == "pong":
+            rtt = time.perf_counter() - ping_start
+            link.ping_rtts.append(rtt)
+            current().event("socket.ping", worker=link.address,
+                            rtt_s=round(rtt, 6))
+        return doc
 
     def _farewell(self, link: _WorkerLink) -> None:
         try:

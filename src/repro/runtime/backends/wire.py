@@ -16,11 +16,21 @@ type         direction  meaning
 ``welcome``  → driver   handshake accepted: ``protocol`` version, worker pid
 ``error``    → driver   handshake refused (e.g. version skew); body says why
 ``job``      driver →   ``key`` (scenario hash) + ``spec`` (canonical dict)
-``result``   → driver   ``key``, ``ok``, ``row`` (see ``execute_job``)
+                        + ``sent_at`` (driver wall clock, diagnostic) +
+                        optional ``telemetry`` flag requesting cache stats
+``result``   → driver   ``key``, ``ok``, ``row`` (see ``execute_job``) +
+                        ``timing`` sidecar (``queue_s``, ``exec_s``, and
+                        ``perf`` cache stats when the job asked for them)
 ``ping``     driver →   liveness probe while a job is outstanding
 ``pong``     → driver   liveness answer (sent even mid-execution)
 ``bye``      driver →   orderly end of session; worker closes the socket
 ===========  =========  ===================================================
+
+Timestamps in frames are *diagnostic*: ``sent_at`` is driver wall clock
+(clocks across hosts are not comparable), while the ``timing`` sidecar
+carries worker-local monotonic durations, which transfer meaningfully.
+The sidecar never touches ``row`` -- stored results stay byte-identical
+with telemetry on or off.
 
 Bump :data:`PROTOCOL_VERSION` on any incompatible change; the handshake
 refuses mismatched peers on both sides, so a stale worker fails loudly at
@@ -39,7 +49,11 @@ from typing import Any, Dict, Optional
 #: :data:`repro.runtime.execute.SCHEMA_VERSION`) -- a v1 worker would
 #: produce schema-less rows that break cross-backend byte-identity, so
 #: the skew must be refused at connect time, not discovered in a store.
-PROTOCOL_VERSION = 2
+#: v3: ``job`` frames are timestamped (``sent_at``) and may request
+#: telemetry; ``result`` frames carry a ``timing`` sidecar -- a v2
+#: worker would silently return no timings, making telemetry campaigns
+#: under-report worker phases, so the skew is refused up front.
+PROTOCOL_VERSION = 3
 
 #: Frame length prefix: 4-byte unsigned big-endian.
 _HEADER = struct.Struct(">I")

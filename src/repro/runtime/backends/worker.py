@@ -21,14 +21,23 @@ use it to prove that campaigns survive a worker dying mid-run.
 
 from __future__ import annotations
 
+import logging
 import queue
 import socket
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple
 
+from ...obs.logsetup import configure_logging, kv
 from ..scenario import ScenarioSpec
-from .base import execute_job
+from .base import execute_job, timed_execute_job
 from .wire import PROTOCOL_VERSION, WireError, recv_frame, send_frame
+
+#: Structured worker log: accept/handshake/disconnect/die events as
+#: ``event key=value`` lines (see :mod:`repro.obs.logsetup`).  Stdout
+#: stays reserved for the machine-parsed ``worker listening on ...``
+#: line; the CLI routes this logger to stderr via ``--log-level``.
+_log = logging.getLogger("repro.worker")
 
 
 class WorkerServer:
@@ -82,7 +91,12 @@ class WorkerServer:
             daemon=True,
         )
         self._accept_thread.start()
+        # Stdout contract: benchmarks and CI parse this exact line for
+        # the bound address, so it stays a plain print-style message.
         self.log(f"worker listening on {self.host}:{self.port}")
+        _log.info(kv("serving", host=self.host, port=self.port,
+                     protocol=PROTOCOL_VERSION,
+                     die_after_jobs=self.die_after_jobs))
         return self.host, self.port
 
     def serve_forever(self) -> None:
@@ -140,6 +154,10 @@ class WorkerServer:
 
     def _serve_connection(self, conn: socket.socket, peer: Any) -> None:
         _enable_keepalive(conn)
+        peer_name = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else str(peer)
+        session_start = time.perf_counter()
+        session_jobs = 0
+        _log.info(kv("accept", peer=peer_name, session=self.sessions))
         send_lock = threading.Lock()
         jobs: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue()
         executor = threading.Thread(
@@ -149,7 +167,7 @@ class WorkerServer:
         executor.start()
         try:
             conn.settimeout(self.HANDSHAKE_TIMEOUT)
-            if not self._handshake(conn, send_lock):
+            if not self._handshake(conn, send_lock, peer_name):
                 return
             conn.settimeout(None)  # drivers go quiet while we execute
             while True:
@@ -162,24 +180,40 @@ class WorkerServer:
                 elif doc["type"] == "job":
                     if self._should_die():
                         self.log(f"worker {self.address}: injected death")
+                        _log.warning(kv("die-after-jobs", peer=peer_name,
+                                        jobs_seen=self._jobs_seen,
+                                        limit=self.die_after_jobs))
                         self.stop()
                         return  # finally: abrupt close, no reply
+                    # Arrival stamp: the executor subtracts it to report
+                    # worker-side queue wait in the result's timing sidecar.
+                    doc["_recv_perf"] = time.perf_counter()
+                    session_jobs += 1
                     jobs.put(doc)
                 # unknown types are ignored (forward compatibility)
         except (WireError, OSError):
             pass  # peer vanished or spoke garbage: drop the session
         finally:
             jobs.put(None)
+            _log.info(kv("disconnect", peer=peer_name, jobs=session_jobs,
+                         dur_s=round(time.perf_counter() - session_start, 6)))
             try:
                 conn.close()
             except OSError:
                 pass
 
-    def _handshake(self, conn: socket.socket, send_lock: threading.Lock) -> bool:
+    def _handshake(self, conn: socket.socket, send_lock: threading.Lock,
+                   peer_name: str = "?") -> bool:
         doc = recv_frame(conn)
         if doc is None or doc.get("type") != "hello":
+            _log.warning(kv("handshake-refused", peer=peer_name,
+                            reason="no-hello"))
             return False
         if doc.get("protocol") != PROTOCOL_VERSION:
+            _log.warning(kv("handshake-refused", peer=peer_name,
+                            reason="protocol-skew",
+                            theirs=doc.get("protocol"),
+                            ours=PROTOCOL_VERSION))
             with send_lock:
                 send_frame(conn, {
                     "type": "error",
@@ -195,6 +229,9 @@ class WorkerServer:
                 "protocol": PROTOCOL_VERSION,
                 "worker_pid": os.getpid(),
             })
+        _log.info(kv("handshake", peer=peer_name,
+                     driver_pid=doc.get("driver_pid"),
+                     protocol=PROTOCOL_VERSION))
         return True
 
     def _should_die(self) -> bool:
@@ -214,38 +251,72 @@ class WorkerServer:
             doc = jobs.get()
             if doc is None:
                 return
-            key, ok, row = self._run_job(doc)
+            started = time.perf_counter()
+            received = doc.pop("_recv_perf", started)
+            key, ok, row, timing = self._run_job(doc)
+            timing["queue_s"] = round(started - received, 6)
             self.jobs_done += 1
             try:
                 with send_lock:
                     send_frame(
                         conn,
-                        {"type": "result", "key": key, "ok": ok, "row": row},
+                        {"type": "result", "key": key, "ok": ok, "row": row,
+                         "timing": timing},
                     )
             except OSError:
                 return  # driver went away; nothing to report to
 
-    def _run_job(self, doc: Dict[str, Any]) -> Tuple[str, bool, Dict[str, Any]]:
-        """Rebuild the spec, cross-check its content hash, execute."""
+    def _run_job(
+        self, doc: Dict[str, Any]
+    ) -> Tuple[str, bool, Dict[str, Any], Dict[str, Any]]:
+        """Rebuild the spec, cross-check its content hash, execute.
+
+        Returns the result triple plus the timing sidecar for the v3
+        ``result`` frame: ``deser_s`` (spec rebuild + hash check) and
+        ``exec_s`` always, ``perf`` cache stats when the job frame
+        carried the ``telemetry`` flag.  The sidecar never touches the
+        row itself.
+        """
         key = doc.get("key")
+        timing: Dict[str, Any] = {}
+        deser_start = time.perf_counter()
         try:
             spec = ScenarioSpec.from_dict(doc["spec"])
         except Exception as exc:  # noqa: BLE001 - reported to the driver
-            return key, False, {"error": f"bad spec: {type(exc).__name__}: {exc}"}
+            return (key, False,
+                    {"error": f"bad spec: {type(exc).__name__}: {exc}"},
+                    timing)
+        timing["deser_s"] = round(time.perf_counter() - deser_start, 6)
         if spec.scenario_hash() != key:
             # Version skew in hashing would silently mis-key the store;
             # refuse instead.
             return key, False, {
                 "error": f"hash mismatch: driver sent {key[:12]}..., spec "
                          f"hashes to {spec.scenario_hash()[:12]}...",
-            }
-        return execute_job((key, spec))
+            }, timing
+        if doc.get("telemetry"):
+            key, ok, row, timed = timed_execute_job((key, spec))
+            timing["exec_s"] = round(timed["exec_s"], 6)
+            if timed.get("perf") is not None:
+                timing["perf"] = timed["perf"]
+            return key, ok, row, timing
+        exec_start = time.perf_counter()
+        key, ok, row = execute_job((key, spec))
+        timing["exec_s"] = round(time.perf_counter() - exec_start, 6)
+        return key, ok, row, timing
 
 
-def serve(address: str, die_after_jobs: Optional[int] = None) -> int:
-    """CLI entry: serve on ``HOST:PORT`` until interrupted (or dead)."""
+def serve(address: str, die_after_jobs: Optional[int] = None,
+          log_level: str = "info") -> int:
+    """CLI entry: serve on ``HOST:PORT`` until interrupted (or dead).
+
+    Structured log lines (accept/handshake/disconnect/die-after-jobs) go
+    to stderr at ``log_level``; stdout carries only the machine-parsed
+    ``worker listening on ...`` line.
+    """
     from .wire import parse_address
 
+    configure_logging(log_level)
     host, port = parse_address(address)
     server = WorkerServer(host=host, port=port,
                           die_after_jobs=die_after_jobs, log=_log_flush)
@@ -253,6 +324,8 @@ def serve(address: str, die_after_jobs: Optional[int] = None) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         server.stop()
+    _log.info(kv("stopped", host=host, port=server.port,
+                 jobs_done=server.jobs_done, sessions=server.sessions))
     return 0
 
 

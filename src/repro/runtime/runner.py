@@ -27,8 +27,10 @@ fast with :class:`~repro.runtime.store.StoreLockError`.  Read-only probes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from ..obs.spans import Telemetry, activate, current
 from .backends import Backend, PoolBackend, SerialBackend
 from .scenario import ScenarioGrid, ScenarioSpec
 from .store import ResultStore
@@ -99,6 +101,14 @@ class CampaignRunner:
         lock: take the store's exclusive writer lockfile around execution
             (on by default; disable only for stores with external
             single-writer guarantees).
+        telemetry: enable the observability sidecar for this runner's
+            campaigns -- a JSONL sink path (str/``Path``; the sink file a
+            ``repro stats`` invocation reads), or a ready
+            :class:`~repro.obs.Telemetry` instance (e.g. in-memory, for
+            tests).  The telemetry is *activated* process-globally for
+            the duration of each run, so backends and the store record
+            into it without signature changes; result rows are unaffected
+            (byte-identical with telemetry on or off).
     """
 
     def __init__(
@@ -109,6 +119,7 @@ class CampaignRunner:
         mp_context: str = "fork",
         backend: Optional[Backend] = None,
         lock: bool = True,
+        telemetry: Optional[Union[str, Path, Telemetry]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -118,9 +129,24 @@ class CampaignRunner:
         self.mp_context = mp_context
         self.backend = backend
         self.lock = lock
+        self.telemetry = telemetry
 
     def run(self, scenarios: ScenarioSource) -> CampaignResult:
         """Execute a campaign; returns rows in scenario order."""
+        telemetry, owned_telemetry = self._resolve_telemetry()
+        if telemetry is None:
+            # No telemetry of our own: run under whatever is already
+            # active (usually the disabled default; possibly a caller's).
+            return self._run(scenarios, current())
+        try:
+            with activate(telemetry):
+                return self._run(scenarios, telemetry)
+        finally:
+            if owned_telemetry:
+                telemetry.close()
+
+    def _run(self, scenarios: ScenarioSource,
+             telemetry: Telemetry) -> CampaignResult:
         specs = self._materialize(scenarios)
         stats = CampaignStats(total=len(specs))
         keyed = [(spec.scenario_hash(), spec) for spec in specs]
@@ -130,35 +156,60 @@ class CampaignRunner:
         stats.deduplicated = len(keyed) - len(results) - len(pending)
 
         backend, owned = self._resolve_backend()
+        campaign_span = telemetry.span("campaign", total=len(specs),
+                                       backend=backend.name)
         locked = self.lock and self.store is not None and bool(pending)
-        if locked:
-            self.store.acquire_lock()
-            # Another campaign may have appended rows between our store
-            # snapshot and winning the lock; re-split against the on-disk
-            # truth so its work is served, not re-executed and re-stored.
-            self.store.reload()
-            results, pending = self._split(keyed)
-            stats.cached = len(results)
-            stats.deduplicated = len(keyed) - len(results) - len(pending)
-        try:
-            for key, ok, row in backend.submit(pending):
-                results[key] = row
-                if ok:
-                    stats.executed += 1
-                    if self.store is not None:
-                        self.store.put(key, row)
-                else:
-                    stats.failed += 1
-            if self.store is not None:
-                self.store.sync()
-        finally:
+        with campaign_span:
             if locked:
-                self.store.release_lock()
-            if owned:
-                backend.close()
+                with telemetry.span("campaign.resync"):
+                    # ``store.lock`` span inside: lock-wait time.
+                    self.store.acquire_lock()
+                    # Another campaign may have appended rows between our
+                    # store snapshot and winning the lock; re-split against
+                    # the on-disk truth so its work is served, not
+                    # re-executed and re-stored.
+                    self.store.reload()
+                    results, pending = self._split(keyed)
+                    stats.cached = len(results)
+                    stats.deduplicated = (
+                        len(keyed) - len(results) - len(pending)
+                    )
+            try:
+                for key, ok, row in backend.submit(pending):
+                    results[key] = row
+                    if ok:
+                        stats.executed += 1
+                        if self.store is not None:
+                            self.store.put(key, row)
+                    else:
+                        stats.failed += 1
+                if self.store is not None:
+                    with telemetry.span("store.sync"):
+                        self.store.sync()
+            finally:
+                if locked:
+                    self.store.release_lock()
+                if owned:
+                    backend.close()
+            campaign_span.set(executed=stats.executed, cached=stats.cached,
+                              failed=stats.failed)
+        telemetry.event("campaign.stats", total=stats.total,
+                        executed=stats.executed, cached=stats.cached,
+                        failed=stats.failed,
+                        deduplicated=stats.deduplicated,
+                        backend=backend.name)
 
         rows = [results[key] for key, _ in keyed]
         return CampaignResult(rows=rows, stats=stats)
+
+    def _resolve_telemetry(self) -> Tuple[Optional[Telemetry], bool]:
+        """The telemetry to activate, plus whether this run owns (and
+        must close) it.  ``None`` means run under the ambient one."""
+        if self.telemetry is None:
+            return None, False
+        if isinstance(self.telemetry, Telemetry):
+            return self.telemetry, False
+        return Telemetry(self.telemetry), True
 
     def pending(self, scenarios: ScenarioSource) -> List[ScenarioSpec]:
         """The scenarios :meth:`run` would actually execute.

@@ -30,6 +30,8 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+from ..obs.spans import span
+
 
 class StoreLockError(RuntimeError):
     """Another live process holds the store's exclusive writer lock."""
@@ -115,14 +117,15 @@ class ResultStore:
         kept open across puts so a large campaign is not O(rows) in
         open/fsync syscalls.
         """
-        line = json.dumps({"key": key, "row": row}, sort_keys=True)
-        handle = self._append_handle()
-        if self._needs_newline:
-            handle.write("\n")
-            self._needs_newline = False
-        handle.write(line + "\n")
-        handle.flush()
-        self._rows[key] = row
+        with span("store.append"):
+            line = json.dumps({"key": key, "row": row}, sort_keys=True)
+            handle = self._append_handle()
+            if self._needs_newline:
+                handle.write("\n")
+                self._needs_newline = False
+            handle.write(line + "\n")
+            handle.flush()
+            self._rows[key] = row
 
     def sync(self) -> None:
         """fsync pending appends to disk."""
@@ -169,27 +172,29 @@ class ResultStore:
         """
         if self._lock_fd is not None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        try:
-            import fcntl
-        except ImportError:  # non-POSIX fallback
-            self._acquire_lock_exclusive_create()
-            return
-        fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR)
-        try:
-            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
-        except OSError:
-            holder = self._lock_holder()
-            os.close(fd)
-            who = f"running process {holder}" if holder else "another process"
-            raise StoreLockError(
-                f"{self.path} is locked by {who} ({self.lock_path}); "
-                "wait for the other campaign to finish"
-            ) from None
-        os.ftruncate(fd, 0)
-        os.write(fd, f"{os.getpid()}\n".encode("ascii"))
-        self._lock_fd = fd
-        self._lock_is_flock = True
+        with span("store.lock", path=str(self.lock_path)):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                import fcntl
+            except ImportError:  # non-POSIX fallback
+                self._acquire_lock_exclusive_create()
+                return
+            fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                holder = self._lock_holder()
+                os.close(fd)
+                who = (f"running process {holder}" if holder
+                       else "another process")
+                raise StoreLockError(
+                    f"{self.path} is locked by {who} ({self.lock_path}); "
+                    "wait for the other campaign to finish"
+                ) from None
+            os.ftruncate(fd, 0)
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+            self._lock_fd = fd
+            self._lock_is_flock = True
 
     def _acquire_lock_exclusive_create(self) -> None:
         """Fallback lock for platforms without ``fcntl``: atomic
