@@ -468,6 +468,9 @@ class Experiment:
         backend: Optional[Union[str, Backend]] = None,
         connect: Sequence[str] = (),
         job_timeout: float = 300.0,
+        require_all: bool = False,
+        connect_retries: int = 2,
+        backoff: float = 0.5,
         chunk_size: Optional[int] = None,
         mp_context: str = "fork",
         lock: bool = True,
@@ -486,6 +489,13 @@ class Experiment:
                 caller's to close.
             connect: socket-backend worker endpoints (implies socket).
             job_timeout: socket heartbeat/requeue timeout in seconds.
+            require_all: fail fast unless every ``connect`` endpoint is
+                reachable (socket backend; default tolerates a partial
+                fleet).
+            connect_retries: extra connect rounds for unreachable socket
+                workers, with exponential backoff from ``backoff``.
+            backoff: base backoff seconds for socket connect retries and
+                mid-campaign reconnects.
             chunk_size / mp_context: pool-backend tuning.
             lock: hold the store's exclusive writer lockfile while
                 executing (see :class:`CampaignRunner`).
@@ -502,7 +512,9 @@ class Experiment:
         if isinstance(store, str) or hasattr(store, "__fspath__"):
             store = ResultStore(store)
         resolved, owned = self._resolve_backend(
-            backend, workers=workers, connect=connect, job_timeout=job_timeout
+            backend, workers=workers, connect=connect,
+            job_timeout=job_timeout, require_all=require_all,
+            connect_retries=connect_retries, backoff=backoff,
         )
         try:
             runner = CampaignRunner(
@@ -534,6 +546,9 @@ class Experiment:
         backend: Optional[Union[str, Backend]] = None,
         connect: Sequence[str] = (),
         job_timeout: float = 300.0,
+        require_all: bool = False,
+        connect_retries: int = 2,
+        backoff: float = 0.5,
     ) -> Report:
         """Build a report, executing only scenarios the store is missing.
 
@@ -559,7 +574,9 @@ class Experiment:
                 ],
             )
         resolved, owned = self._resolve_backend(
-            backend, workers=workers, connect=connect, job_timeout=job_timeout
+            backend, workers=workers, connect=connect,
+            job_timeout=job_timeout, require_all=require_all,
+            connect_retries=connect_retries, backoff=backoff,
         )
         try:
             return build_report(
@@ -666,6 +683,9 @@ class Experiment:
         workers: int,
         connect: Sequence[str],
         job_timeout: float,
+        require_all: bool = False,
+        connect_retries: int = 2,
+        backoff: float = 0.5,
     ) -> Tuple[Optional[Backend], bool]:
         """The backend to run on, plus whether this call owns it."""
         if isinstance(backend, Backend):
@@ -678,6 +698,9 @@ class Experiment:
                 workers=workers,
                 connect=list(connect),
                 job_timeout=job_timeout,
+                require_all=require_all,
+                connect_retries=connect_retries,
+                backoff=backoff,
             ),
             True,
         )

@@ -272,6 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="structured log verbosity on stderr (accept/handshake/"
         "disconnect lines); debug adds per-connection detail",
     )
+    worker.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="fault injection on outbound frames, e.g. "
+        "'drop=0.05,delay=0.2,delay_s=0.1,reset=0.02,seed=7' "
+        "(keys: drop/delay/stall/corrupt/truncate/reset probabilities, "
+        "delay_s/stall_s durations, seed; see docs/RESILIENCE.md)",
+    )
 
     stats = commands.add_parser(
         "stats",
@@ -328,6 +335,21 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
         "--job-timeout", type=float, default=300.0, metavar="SECONDS",
         help="socket backend: seconds before an unresponsive worker is "
         "pinged and, absent a heartbeat, its scenarios requeued",
+    )
+    parser.add_argument(
+        "--require-all", action="store_true",
+        help="socket backend: fail fast unless every --connect endpoint "
+        "is reachable (default tolerates a partial fleet)",
+    )
+    parser.add_argument(
+        "--connect-retries", type=int, default=2, metavar="N",
+        help="socket backend: extra connect rounds for unreachable "
+        "workers, with exponential backoff (default: 2)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.5, metavar="SECONDS",
+        help="socket backend: base backoff for connect retries and "
+        "mid-campaign reconnects (doubles per failure; default: 0.5)",
     )
 
 
@@ -391,6 +413,9 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
             backend=args.backend,
             connect=args.connect,
             job_timeout=args.job_timeout,
+            require_all=args.require_all,
+            connect_retries=args.connect_retries,
+            backoff=args.backoff,
             telemetry=args.telemetry or None,
         )
     except ValueError as exc:
@@ -400,10 +425,12 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     stats = campaign.stats
+    quarantined = (f" (quarantined {stats.quarantined})"
+                   if stats.quarantined else "")
     print(
         f"campaign: {stats.total} scenarios | executed {stats.executed} | "
         f"cached {stats.cached} | deduplicated {stats.deduplicated} | "
-        f"failed {stats.failed}"
+        f"failed {stats.failed}{quarantined}"
     )
     if campaign.backend_summary:
         print(campaign.backend_summary)
@@ -428,6 +455,13 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
                   + "; ".join(violation["problems"]))
         if stats.failed:
             print(f"{stats.failed} scenario(s) failed to execute")
+        if stats.quarantined:
+            for row in campaign.rows:
+                block = row.get("quarantine")
+                if block:
+                    print(f"QUARANTINED {block['scenario'][:12]}: crashed "
+                          f"{len(block['executors'])} executor(s) "
+                          f"({', '.join(block['executors'])})")
         return 1
     return 0
 
@@ -448,6 +482,9 @@ def _run_report_command(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 connect=args.connect,
                 job_timeout=args.job_timeout,
+                require_all=args.require_all,
+                connect_retries=args.connect_retries,
+                backoff=args.backoff,
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -475,11 +512,13 @@ def _run_report_command(args: argparse.Namespace) -> int:
 
 
 def _run_worker_command(args: argparse.Namespace) -> int:
+    from ..runtime.backends.chaos import ChaosPolicy
     from ..runtime.backends.worker import serve
 
     try:
+        chaos = ChaosPolicy.parse(args.chaos) if args.chaos else None
         return serve(args.serve, die_after_jobs=args.die_after_jobs,
-                     log_level=args.log_level)
+                     log_level=args.log_level, chaos=chaos)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

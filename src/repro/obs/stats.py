@@ -11,7 +11,11 @@ answer "where did the wall-clock go".  Three views:
   jobs, and ping RTTs per socket worker;
 * **wall-clock summary** -- the campaign span against the accounted
   phases, quantifying exactly how much of a <1x-speedup backend's time
-  is overhead rather than execution.
+  is overhead rather than execution;
+* **resilience summary** -- every recovery action the backend took
+  (connect retries, reconnects, worker deaths, requeues, job resends,
+  poison probes, quarantines, degradation) so a chaotic campaign's
+  survival story is visible next to its timings.
 
 Rendering reuses :func:`repro.reporting.render.format_table` and
 :func:`~repro.reporting.render.sparkline` (imported lazily: this module
@@ -45,6 +49,19 @@ _SPAN_PHASES = (
     ("store.lock", "lock wait"),
     ("store.append", "store append"),
     ("store.sync", "store sync"),
+)
+
+#: Recovery events, in escalation order, with display labels.
+_RESILIENCE_EVENTS = (
+    ("socket.retry", "connect retry"),
+    ("socket.unexpected_frame", "unexpected frame"),
+    ("socket.resend", "job resend"),
+    ("socket.worker_dead", "worker death"),
+    ("socket.requeue", "requeue"),
+    ("socket.reconnect", "reconnect"),
+    ("socket.probe", "poison probe"),
+    ("socket.quarantine", "quarantine"),
+    ("backend.degraded", "degraded to local"),
 )
 
 
@@ -187,6 +204,55 @@ def coverage(rows: Sequence[Dict[str, Any]]) -> Optional[float]:
     return min((local_exec + store_s) / wall, 1.0)
 
 
+def resilience_summary(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Recovery-action table over the backend's resilience events.
+
+    One row per event kind that occurred -- ``{event, count, detail}``
+    where detail compresses the most useful attribute(s): which workers
+    died or rejoined, how many scenarios were requeued, which scenario
+    was quarantined.  Empty for a campaign that never had to recover
+    from anything.
+    """
+    table = []
+    for name, label in _RESILIENCE_EVENTS:
+        events = _events(rows, name)
+        if not events:
+            continue
+        detail = ""
+        if name in ("socket.worker_dead", "socket.reconnect"):
+            workers = sorted({
+                (event.get("attrs") or {}).get("worker", "?")
+                for event in events
+            })
+            detail = ", ".join(workers)
+        elif name == "socket.requeue":
+            total = sum(
+                int((event.get("attrs") or {}).get("count") or 0)
+                for event in events
+            )
+            detail = f"{total} scenario(s)"
+        elif name in ("socket.probe", "socket.quarantine"):
+            keys = sorted({
+                str((event.get("attrs") or {}).get("key", "?"))
+                for event in events
+            })
+            detail = ", ".join(keys)
+        elif name == "backend.degraded":
+            remaining = sum(
+                int((event.get("attrs") or {}).get("remaining") or 0)
+                for event in events
+            )
+            detail = f"{remaining} scenario(s) finished locally"
+        elif name == "socket.resend":
+            workers = sorted({
+                (event.get("attrs") or {}).get("worker", "?")
+                for event in events
+            })
+            detail = ", ".join(workers)
+        table.append({"event": label, "count": len(events), "detail": detail})
+    return table
+
+
 def wallclock_summary(rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     """The "where did the wall-clock go" numbers, as one flat dict."""
     jobs = _events(rows, "job")
@@ -217,6 +283,7 @@ def wallclock_summary(rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
         "executed": campaign_stats.get("executed"),
         "cached": campaign_stats.get("cached"),
         "failed": campaign_stats.get("failed"),
+        "quarantined": campaign_stats.get("quarantined"),
     }
 
 
@@ -258,6 +325,14 @@ def render_stats(rows: Sequence[Dict[str, Any]],
             title="worker utilization",
         ))
 
+    resilience = resilience_summary(rows)
+    if resilience:
+        lines.append("")
+        lines.append(format_table(
+            resilience, ["event", "count", "detail"],
+            title="resilience (recovery actions)",
+        ))
+
     exec_ms = [
         float((job.get("attrs") or {}).get("exec_s") or 0.0) * 1e3
         for job in _events(rows, "job")
@@ -283,6 +358,8 @@ def render_stats(rows: Sequence[Dict[str, Any]],
     if summary["coverage"] is not None:
         parts.append(f"telemetry accounts for {summary['coverage'] * 100:.1f}%"
                      " of wall time")
+    if summary["quarantined"]:
+        parts.append(f"quarantined {summary['quarantined']}")
     lines.append("where did the wall-clock go: " + " | ".join(parts))
     return "\n".join(lines)
 

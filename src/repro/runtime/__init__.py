@@ -35,6 +35,7 @@ from .aggregate import (
 from .backends import (
     Backend,
     BackendError,
+    ChaosPolicy,
     PoolBackend,
     SerialBackend,
     SocketBackend,
@@ -62,6 +63,7 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CampaignStats",
+    "ChaosPolicy",
     "PoolBackend",
     "ResultStore",
     "SerialBackend",

@@ -8,7 +8,11 @@ implementations:
   machine, many cores);
 * :class:`SocketBackend` -- TCP workers started with ``python -m repro
   worker --serve HOST:PORT`` (many machines), with hash-space sharding,
-  heartbeat liveness, and automatic requeue from dead workers.
+  heartbeat liveness, automatic requeue from dead workers, reconnect
+  with backoff, poison-job quarantine, and graceful degradation to
+  local execution (see :mod:`~repro.runtime.backends.socketbackend`);
+  :class:`ChaosPolicy` (:mod:`~repro.runtime.backends.chaos`) injects
+  deterministic transport faults to exercise all of the above.
 
 :class:`~repro.runtime.runner.CampaignRunner` orchestrates any of them;
 because every row is a pure function of its scenario's content hash, all
@@ -20,7 +24,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from .base import Backend, BackendError, Job, JobResult, execute_job
+from .base import Backend, BackendError, Job, JobResult, execute_job, quarantine_row
+from .chaos import ChaosPolicy, ChaosSocket
 from .pool import PoolBackend
 from .serial import SerialBackend
 from .socketbackend import SocketBackend
@@ -39,6 +44,10 @@ def make_backend(
     chunk_size: Optional[int] = None,
     mp_context: str = "fork",
     job_timeout: float = 300.0,
+    require_all: bool = False,
+    connect_retries: int = 2,
+    backoff: float = 0.5,
+    chaos: Optional[ChaosPolicy] = None,
 ) -> Backend:
     """Build a backend by name.
 
@@ -47,7 +56,9 @@ def make_backend(
     :class:`PoolBackend` otherwise -- the historical behaviour of
     ``CampaignRunner(workers=N)``.  An explicit ``"pool"`` uses at least
     2 processes (a 1-process pool is just a slower serial).  ``"socket"``
-    requires at least one ``HOST:PORT`` in ``connect``.
+    requires at least one ``HOST:PORT`` in ``connect``; ``require_all``,
+    ``connect_retries``, ``backoff``, and ``chaos`` are socket-only
+    resilience knobs (see :class:`SocketBackend`).
     """
     if name is None or name == "auto":
         name = "serial" if workers == 1 and not connect else (
@@ -71,7 +82,10 @@ def make_backend(
             raise ValueError(
                 "socket backend needs --connect HOST:PORT[,HOST:PORT...]"
             )
-        return SocketBackend(list(connect), job_timeout=job_timeout)
+        return SocketBackend(
+            list(connect), job_timeout=job_timeout, require_all=require_all,
+            connect_retries=connect_retries, backoff=backoff, chaos=chaos,
+        )
     raise ValueError(
         f"unknown backend {name!r} (known: {', '.join(BACKEND_NAMES)})"
     )
@@ -81,6 +95,8 @@ __all__ = [
     "BACKEND_NAMES",
     "Backend",
     "BackendError",
+    "ChaosPolicy",
+    "ChaosSocket",
     "Job",
     "JobResult",
     "PROTOCOL_VERSION",
@@ -92,4 +108,5 @@ __all__ = [
     "execute_job",
     "make_backend",
     "parse_address",
+    "quarantine_row",
 ]

@@ -14,25 +14,62 @@ enforces liveness:
   within ``ping_grace`` declares it dead (workers answer pings from a
   dedicated reader thread even mid-execution, so a slow scenario alone
   never trips this -- tune ``job_timeout`` to the slowest expected
-  scenario).
+  scenario);
+* a worker that answers pings while a job stays outstanding past
+  ``job_timeout`` gets the job *resent* (a dropped frame on a live link
+  starves, it does not kill); :data:`~SocketBackend.MAX_RESENDS` losses
+  of the same job declare the link dead anyway.
+
+The backend assumes failure is normal, not exceptional:
+
+* **connect retries** -- ``_connect_all`` retries unreachable workers
+  with exponential backoff + jitter (``connect_retries``/``backoff``)
+  before giving up on an address;
+* **reconnect** -- a background :class:`_Reconnector` keeps redialing
+  addresses that were unreachable or died mid-campaign; a worker that
+  comes (back) up joins the fleet mid-run and queued work is resharded
+  onto it (stateless workers + the versioned handshake make this safe);
+* **quarantine** -- a scenario whose executor dies ``quarantine_after``
+  distinct times is *suspected poison*: it is retried once in an
+  isolated local subprocess, and only if that probe also crashes is it
+  quarantined -- reported as a structured failure row (see
+  :func:`~repro.runtime.backends.base.quarantine_row`) instead of
+  cascading through requeue until the fleet is gone.  An innocent
+  scenario that merely sat on repeatedly-dying workers produces its real
+  row from the probe;
+* **degradation** -- if the fleet empties (and, with reconnect on, stays
+  empty for ``degrade_after`` seconds), the driver executes the leftovers
+  locally in isolated subprocesses rather than aborting: campaigns always
+  complete.  ``degrade=False`` restores the old fail-stop behavior.
+* **fault injection** -- ``chaos=ChaosPolicy(...)`` wraps each worker
+  connection (post-handshake) so all of the above can be exercised
+  deterministically; see :mod:`~repro.runtime.backends.chaos`.
 
 Scenarios owned by a dead worker are requeued onto the survivors (again
 by hash), and results are deduplicated by scenario hash, so a campaign
 that loses workers yields exactly one row per scenario -- byte-identical
-to a serial run, because rows are pure functions of their specs.  Only
-losing *every* worker aborts the campaign.
+to a serial run, because rows are pure functions of their specs.  Every
+recovery action emits an obs event (``socket.retry``,
+``socket.reconnect``, ``socket.resend``, ``socket.quarantine``,
+``backend.degraded``) rendered by ``repro stats``.
 """
 
 from __future__ import annotations
 
+import itertools
+import logging
+import multiprocessing
 import queue
+import random
 import socket
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+from ...obs.logsetup import kv
 from ...obs.spans import Telemetry, current
-from .base import Backend, BackendError, Job, JobResult
+from .base import Backend, BackendError, Job, JobResult, execute_job, quarantine_row
+from .chaos import ChaosPolicy
 from .wire import (
     PROTOCOL_VERSION,
     FrameReceiver,
@@ -42,8 +79,18 @@ from .wire import (
     send_frame,
 )
 
+#: Structured driver-side log (retry/reconnect/resend/quarantine events).
+_log = logging.getLogger("repro.socket")
+
 #: Sentinel telling a driver thread its worker has no further work.
 _DONE = object()
+
+#: Ceiling on connect/reconnect backoff growth.
+_MAX_BACKOFF_S = 30.0
+
+#: Extra allowance on isolated-subprocess deadlines: a ``spawn`` child
+#: pays interpreter + import startup that a TCP worker already paid.
+_SPAWN_GRACE_S = 30.0
 
 
 class _Occupancy:
@@ -90,18 +137,23 @@ class _Occupancy:
 
 
 class _WorkerLink:
-    """Driver-side state for one connected worker."""
+    """Driver-side state for one connected worker (one connection *generation*:
+    a reconnect to the same address builds a fresh link)."""
 
-    def __init__(self, address: str, sock: socket.socket) -> None:
+    def __init__(self, address: str, sock: Any, ident: str = "") -> None:
         self.address = address
         self.sock = sock
+        #: Distinct-executor identity for quarantine evidence: the same
+        #: address reconnected is a *new* executor (``addr#gN``).
+        self.ident = ident or address
         #: Resumable reader: heartbeat timeouts must not lose the bytes
         #: of a result frame caught mid-flight (see ``wire.FrameReceiver``).
         self.reader = FrameReceiver(sock)
         self.jobs: "queue.Queue[Any]" = queue.Queue()
         self.finishing = False
         self.completed = 0
-        #: Handshake duration (set by ``_connect_all``).
+        self.resends = 0
+        #: Handshake duration (set by ``_open_link``).
         self.connect_s = 0.0
         #: Measured ping round trips, oldest first (the post-handshake
         #: calibration ping plus any heartbeat pings; GIL-atomic appends).
@@ -141,6 +193,73 @@ class _WorkerDied(Exception):
     """Internal: the link's worker is unreachable or unresponsive."""
 
 
+class _Reconnector:
+    """Background redialer: turns down addresses back into live links.
+
+    Owns a per-address exponential backoff schedule.  ``mark_down`` is
+    called for addresses unreachable at connect time and for links that
+    die mid-campaign; each successful redial is announced on the
+    backend's event queue as a ``("joined", link, None)`` event, which
+    the submit loop turns into a live driver thread plus a reshard of
+    queued work.  Stateless workers make rejoin safe: the fresh handshake
+    re-checks the protocol version and the new link starts empty.
+    """
+
+    def __init__(self, backend: "SocketBackend",
+                 events: "queue.Queue[Tuple[str, Any, Any]]") -> None:
+        self._backend = backend
+        self._events = events
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._due: Dict[str, float] = {}
+        self._delay: Dict[str, float] = {}
+        self._thread = threading.Thread(
+            target=self._run, name="socket-reconnect", daemon=True,
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def mark_down(self, address: str) -> None:
+        """Schedule ``address`` for redialing (idempotent while down)."""
+        with self._lock:
+            if address in self._due:
+                return
+            delay = self._backend.backoff
+            self._delay[address] = delay
+            self._due[address] = time.monotonic() + _jittered(delay)
+
+    def _run(self) -> None:
+        while not self._stop.wait(0.05):
+            now = time.monotonic()
+            with self._lock:
+                ready = [a for a, due in self._due.items() if due <= now]
+            for address in ready:
+                try:
+                    link = self._backend._open_link(address)
+                except (BackendError, OSError) as exc:
+                    with self._lock:
+                        delay = min(self._delay[address] * 2, _MAX_BACKOFF_S)
+                        self._delay[address] = delay
+                        self._due[address] = time.monotonic() + _jittered(delay)
+                    _log.debug(kv("redial-failed", worker=address,
+                                  retry_in_s=round(delay, 3), error=str(exc)))
+                    continue
+                if self._stop.is_set():
+                    link.close()
+                    return
+                with self._lock:
+                    self._due.pop(address, None)
+                    self._delay.pop(address, None)
+                _log.info(kv("reconnected", worker=address, ident=link.ident))
+                current().event("socket.reconnect", worker=address,
+                                ident=link.ident)
+                self._events.put(("joined", link, None))
+
+
 class SocketBackend(Backend):
     """Execute scenarios on remote ``python -m repro worker`` processes.
 
@@ -148,21 +267,43 @@ class SocketBackend(Backend):
         addresses: worker endpoints, as ``"host:port"`` strings or
             ``(host, port)`` pairs.
         job_timeout: seconds a job may be outstanding before the worker
-            is pinged.
+            is pinged (and, if alive, the job resent).
         ping_grace: seconds after a ping before the worker is declared
             dead.
         connect_timeout: handshake/connect deadline per worker.
         window: jobs kept in flight per worker (pipelining hides the
             request/response round trip).
-        require_all: with ``True``, fail fast if any address is
-            unreachable at submit time; the default tolerates unreachable
-            workers as long as at least one connects (they are listed in
-            :meth:`summary`).
+        require_all: with ``True``, fail fast if any address is still
+            unreachable after the connect retries; the default tolerates
+            unreachable workers as long as at least one connects (they
+            are listed in :meth:`summary` and handed to the reconnector).
+        connect_retries: extra connect rounds for unreachable addresses
+            (exponential backoff from ``backoff``, jittered).  Retries
+            keep going only while they matter: until at least one worker
+            is connected, or until all are with ``require_all``.
+        backoff: base backoff in seconds for connect retries and the
+            background reconnector (doubles per failure, capped).
+        reconnect: keep redialing down addresses in the background so
+            dead or late-starting workers join mid-campaign.
+        quarantine_after: distinct executor deaths that turn a scenario
+            into a poison suspect (then confirmed by one isolated local
+            probe before quarantining).  Minimum 1.
+        degrade: with no live links (and reconnect exhausted/disabled),
+            finish the leftovers locally in isolated subprocesses instead
+            of raising; ``False`` restores fail-stop.
+        degrade_after: seconds to wait for a reconnect before degrading
+            (only meaningful with ``reconnect=True``).
+        chaos: optional :class:`~repro.runtime.backends.chaos.ChaosPolicy`
+            injecting faults into driver-to-worker frames (post-handshake).
     """
 
     name = "socket"
     parallel = True
     distributed = True
+
+    #: Times one job may be resent to a live-but-silent worker before
+    #: the link is declared dead anyway.
+    MAX_RESENDS = 3
 
     def __init__(
         self,
@@ -172,6 +313,13 @@ class SocketBackend(Backend):
         connect_timeout: float = 10.0,
         window: int = 2,
         require_all: bool = False,
+        connect_retries: int = 2,
+        backoff: float = 0.5,
+        reconnect: bool = True,
+        quarantine_after: int = 2,
+        degrade: bool = True,
+        degrade_after: float = 5.0,
+        chaos: Optional[ChaosPolicy] = None,
     ) -> None:
         if not addresses:
             raise ValueError("socket backend needs at least one worker address")
@@ -183,12 +331,28 @@ class SocketBackend(Backend):
             raise ValueError("timeouts must be positive")
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
+        if connect_retries < 0:
+            raise ValueError(f"connect_retries must be >= 0, got {connect_retries}")
+        if backoff <= 0:
+            raise ValueError(f"backoff must be positive, got {backoff}")
+        if quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
         self.job_timeout = job_timeout
         self.ping_grace = ping_grace
         self.connect_timeout = connect_timeout
         self.window = window
         self.require_all = require_all
+        self.connect_retries = connect_retries
+        self.backoff = backoff
+        self.reconnect = reconnect
+        self.quarantine_after = quarantine_after
+        self.degrade = degrade
+        self.degrade_after = degrade_after
+        self.chaos = chaos
         self.last_stats: Dict[str, Any] = {}
+        self._generation = itertools.count(1)
 
     # -- connection setup ---------------------------------------------
 
@@ -219,12 +383,27 @@ class SocketBackend(Backend):
                 )
             # Calibration ping: one measured round trip per connection, so
             # the RTT summary has a latency signal even on campaigns too
-            # fast to ever trip the heartbeat path.
+            # fast to ever trip the heartbeat path.  Nothing but a pong is
+            # owed at this point, but an over-eager peer is not a protocol
+            # crime: tolerate a few unexpected frames (logged + counted)
+            # rather than mistiming the sample or dropping the session.
             ping_start = time.perf_counter()
             send_frame(sock, {"type": "ping"})
-            pong = recv_frame(sock)
-            if pong is not None and pong.get("type") == "pong":
-                rtt = time.perf_counter() - ping_start
+            for _ in range(3):
+                pong = recv_frame(sock)
+                if pong is None:
+                    raise BackendError(
+                        f"worker {address} closed during calibration ping"
+                    )
+                if pong.get("type") == "pong":
+                    rtt = time.perf_counter() - ping_start
+                    break
+                _log.warning(kv("unexpected-frame", worker=address,
+                                frame_type=pong.get("type"),
+                                context="calibration-ping"))
+                current().event("socket.unexpected_frame", worker=address,
+                                frame_type=pong.get("type"),
+                                context="calibration-ping")
         except (WireError, OSError) as exc:
             sock.close()
             raise BackendError(f"handshake with {address} failed: {exc}") from exc
@@ -233,43 +412,95 @@ class SocketBackend(Backend):
             raise
         return sock, rtt
 
+    def _open_link(self, address: str) -> _WorkerLink:
+        """Connect + handshake + (optionally) chaos-wrap one worker into a
+        ready :class:`_WorkerLink`.  Thread-safe; used by both the initial
+        ``_connect_all`` and the background reconnector."""
+        telemetry = current()
+        connect_start = time.perf_counter()
+        sock, rtt = self._connect(address)
+        generation = next(self._generation)
+        ident = f"{address}#g{generation}"
+        wrapped: Any = sock
+        if self.chaos is not None:
+            # Wrapped only after the handshake: chaos may destroy sessions,
+            # never make the version check flaky (mirrors the worker side).
+            wrapped = self.chaos.wrap(sock, label=f"driver->{ident}")
+        link = _WorkerLink(address, wrapped, ident=ident)
+        link.connect_s = time.perf_counter() - connect_start
+        if rtt is not None:
+            link.ping_rtts.append(rtt)
+        telemetry.event(
+            "socket.connect", worker=address, ident=ident,
+            dur_s=round(link.connect_s, 6),
+            rtt_s=round(rtt, 6) if rtt is not None else None,
+        )
+        return link
+
     def _connect_all(self) -> Tuple[List[_WorkerLink], List[str]]:
+        """Dial every address, retrying with exponential backoff + jitter.
+
+        Retries are spent only while they can change the outcome: while
+        zero workers are connected (a campaign cannot start), or while
+        any worker is missing under ``require_all``.  Addresses still
+        down when a quorum exists are left to the background reconnector.
+        """
         telemetry = current()
         links: List[_WorkerLink] = []
-        unreachable: List[str] = []
-        for address in self.addresses:
-            connect_start = time.perf_counter()
-            try:
-                sock, rtt = self._connect(address)
-            except (BackendError, OSError) as exc:
-                if self.require_all:
-                    for link in links:
-                        link.close()
-                    raise BackendError(
-                        f"worker {address} unreachable: {exc}"
-                    ) from exc
-                unreachable.append(address)
-                continue
-            link = _WorkerLink(address, sock)
-            link.connect_s = time.perf_counter() - connect_start
-            if rtt is not None:
-                link.ping_rtts.append(rtt)
-            telemetry.event(
-                "socket.connect", worker=address,
-                dur_s=round(link.connect_s, 6),
-                rtt_s=round(rtt, 6) if rtt is not None else None,
+        waiting = list(self.addresses)
+        errors: Dict[str, Exception] = {}
+        attempt = 0
+        while True:
+            still_down: List[str] = []
+            for address in waiting:
+                try:
+                    links.append(self._open_link(address))
+                except (BackendError, OSError) as exc:
+                    errors[address] = exc
+                    still_down.append(address)
+            waiting = still_down
+            if not waiting:
+                break
+            must_retry = self.require_all or not links
+            if not must_retry or attempt >= self.connect_retries:
+                break
+            attempt += 1
+            delay = _jittered(
+                min(self.backoff * (2 ** (attempt - 1)), _MAX_BACKOFF_S)
             )
-            links.append(link)
+            _log.warning(kv("connect-retry", attempt=attempt,
+                            waiting=",".join(waiting),
+                            delay_s=round(delay, 3)))
+            telemetry.event("socket.retry", attempt=attempt,
+                            waiting=len(waiting), delay_s=round(delay, 3))
+            time.sleep(delay)
+        if waiting and self.require_all:
+            for link in links:
+                link.close()
+            address = waiting[0]
+            raise BackendError(
+                f"worker {address} unreachable: {errors[address]}"
+            ) from errors[address]
         if not links:
             raise BackendError(
                 "no socket workers reachable: " + ", ".join(self.addresses)
             )
-        return links, unreachable
+        return links, waiting
 
     # -- submit --------------------------------------------------------
 
     def submit(self, pending: List[Job]) -> Iterator[JobResult]:
-        """Shard, stream, requeue, dedup; yields one result per key."""
+        """Shard, stream, requeue, dedup; yields one result per key.
+
+        Failure handling, in escalation order: a dead link's jobs are
+        requeued onto survivors; a down address is redialed in the
+        background and rejoins mid-run; a scenario with
+        ``quarantine_after`` distinct executor deaths is probed in an
+        isolated subprocess and quarantined if the probe also crashes;
+        an empty fleet (past the reconnect grace) degrades to isolated
+        local execution.  The campaign always yields exactly one row per
+        key -- possibly a structured quarantine failure row.
+        """
         if not pending:
             return
         telemetry = current()
@@ -280,74 +511,236 @@ class SocketBackend(Backend):
             "lost": 0,
             "requeued": 0,
             "duplicates": 0,
+            "reconnects": 0,
+            "resends": 0,
+            "probed": 0,
+            "quarantined": 0,
+            "degraded": False,
             "per_worker": {},
             "ping_rtt_s": [],
+            "chaos": {},
         }
         for key, spec in pending:
             links[_shard(key, len(links))].enqueue(key, spec)
 
-        events: "queue.Queue[Tuple[str, _WorkerLink, Any]]" = queue.Queue()
+        events: "queue.Queue[Tuple[str, Any, Any]]" = queue.Queue()
         threads = []
-        for link in links:
+
+        def start_driver(link: _WorkerLink) -> None:
             thread = threading.Thread(
                 target=self._drive, args=(link, events),
-                name=f"socket-driver:{link.address}", daemon=True,
+                name=f"socket-driver:{link.ident}", daemon=True,
             )
             thread.start()
             threads.append(thread)
 
-        remaining = {key for key, _ in pending}
+        for link in links:
+            start_driver(link)
+
+        reconnector: Optional[_Reconnector] = None
+        if self.reconnect:
+            reconnector = _Reconnector(self, events)
+            for address in unreachable:
+                reconnector.mark_down(address)
+            reconnector.start()
+
+        jobs_by_key: Dict[str, Job] = {key: (key, spec) for key, spec in pending}
+        remaining: Set[str] = set(jobs_by_key)
+        #: Scenario hash -> distinct executor idents that died with it in
+        #: flight (the quarantine evidence).
+        deaths: Dict[str, Set[str]] = {}
+        #: Keys currently being probed in an isolated subprocess.
+        probing: Set[str] = set()
+        #: Salvaged jobs with no live link to run them (await rejoin/degrade).
+        unassigned: Dict[str, Job] = {}
         live: List[_WorkerLink] = list(links)
+        all_links: List[_WorkerLink] = list(links)
+        degrade_deadline: Optional[float] = None
+
+        def start_probe(job: Job) -> None:
+            key = job[0]
+            probing.add(key)
+            stats["probed"] += 1
+            _log.warning(kv("poison-suspect", key=key[:12],
+                            deaths=len(deaths.get(key, ()))))
+            telemetry.event("socket.probe", key=key[:12],
+                            deaths=len(deaths.get(key, ())))
+            threading.Thread(
+                target=lambda: events.put(
+                    ("probed", None, (job, self._probe_isolated(job)))
+                ),
+                name=f"socket-probe:{key[:12]}", daemon=True,
+            ).start()
+
         try:
             while remaining:
-                kind, link, payload = events.get()
+                fleet_work = remaining - probing
+                if not live and fleet_work:
+                    if self.reconnect and degrade_deadline is None:
+                        degrade_deadline = time.monotonic() + self.degrade_after
+                    if (not self.reconnect
+                            or time.monotonic() >= degrade_deadline):
+                        if not self.degrade:
+                            raise BackendError(
+                                f"all socket worker(s) died with "
+                                f"{len(fleet_work)} scenario(s) unfinished"
+                            )
+                        stats["degraded"] = True
+                        unassigned.clear()
+                        _log.warning(kv("degraded",
+                                        remaining=len(fleet_work)))
+                        telemetry.event("backend.degraded",
+                                        remaining=len(fleet_work),
+                                        reason="no live workers")
+                        stranded = [jobs_by_key[k] for k in sorted(fleet_work)]
+                        for key, ok, row in self._drain_isolated(
+                                stranded, deaths, telemetry, stats):
+                            if key in remaining:
+                                remaining.discard(key)
+                                yield key, ok, row
+                        degrade_deadline = None
+                        continue
+                if not remaining:
+                    break
+                timeout = None
+                if degrade_deadline is not None and not live and fleet_work:
+                    timeout = max(0.05, degrade_deadline - time.monotonic())
+                try:
+                    kind, link, payload = events.get(timeout=timeout)
+                except queue.Empty:
+                    continue
+
                 if kind == "result":
                     key, ok, row = payload
-                    if key not in remaining:
+                    if key not in remaining or key in probing:
                         stats["duplicates"] += 1
                         continue
                     remaining.discard(key)
                     link.completed += 1
                     yield key, ok, row
+
                 elif kind == "dead":
                     live = [peer for peer in live if peer is not link]
                     link.close()
                     stats["lost"] += 1
+                    inflight_jobs, queued_jobs = payload
+                    # In-flight at death is the poison evidence; merely
+                    # queued jobs are innocent bystanders.
+                    for job in inflight_jobs:
+                        if job[0] in remaining:
+                            deaths.setdefault(job[0], set()).add(link.ident)
                     # The driver thread drained its queue before posting
                     # this event, but if another worker died first, this
                     # loop may have requeued jobs onto the link in that
                     # window -- jobs no thread will ever read.  Requeue
                     # puts happen only on this thread, so draining here,
                     # after removing the link from ``live``, is final.
-                    salvaged = list(payload) + link.drain_jobs()
-                    leftovers = [
-                        job for job in salvaged if job[0] in remaining
-                    ]
+                    salvaged = (list(inflight_jobs) + list(queued_jobs)
+                                + link.drain_jobs())
                     telemetry.event("socket.worker_dead", worker=link.address,
-                                    salvaged=len(leftovers))
-                    if not live:
-                        raise BackendError(
-                            f"all {len(links)} socket worker(s) died with "
-                            f"{len(remaining)} scenario(s) unfinished"
-                        )
-                    for key, spec in leftovers:
-                        live[_shard(key, len(live))].enqueue(key, spec)
-                    if leftovers:
-                        telemetry.event("socket.requeue", count=len(leftovers),
-                                        survivors=len(live))
-                    stats["requeued"] += len(leftovers)
+                                    ident=link.ident, salvaged=len(salvaged))
+                    if reconnector is not None:
+                        reconnector.mark_down(link.address)
+                    requeue: List[Job] = []
+                    seen: Set[str] = set()
+                    for job in salvaged:
+                        key = job[0]
+                        if (key not in remaining or key in probing
+                                or key in seen):
+                            continue
+                        seen.add(key)
+                        if len(deaths.get(key, ())) >= self.quarantine_after:
+                            start_probe(job)
+                        else:
+                            requeue.append(job)
+                    if live:
+                        for key, spec in requeue:
+                            live[_shard(key, len(live))].enqueue(key, spec)
+                        if requeue:
+                            telemetry.event("socket.requeue",
+                                            count=len(requeue),
+                                            survivors=len(live))
+                    else:
+                        for job in requeue:
+                            unassigned[job[0]] = job
+                    stats["requeued"] += len(requeue)
+
+                elif kind == "joined":
+                    live.append(link)
+                    all_links.append(link)
+                    stats["reconnects"] += 1
+                    degrade_deadline = None
+                    start_driver(link)
+                    # Reshard: the newcomer takes its hash share of the
+                    # queued (not in-flight) work plus anything stranded.
+                    pool: Dict[str, Job] = dict(unassigned)
+                    unassigned.clear()
+                    for peer in live:
+                        if peer is link:
+                            continue
+                        for job in peer.drain_jobs():
+                            pool.setdefault(job[0], job)
+                    for key, job in pool.items():
+                        if key in remaining and key not in probing:
+                            live[_shard(key, len(live))].enqueue(*job)
+
+                elif kind == "probed":
+                    job, outcome = payload
+                    key = job[0]
+                    probing.discard(key)
+                    if key not in remaining:
+                        stats["duplicates"] += 1
+                        continue
+                    if outcome is None:
+                        # The isolated probe crashed too: confirmed poison.
+                        executors = deaths.setdefault(key, set())
+                        executors.add(f"isolated#{len(executors) + 1}")
+                        stats["quarantined"] += 1
+                        _log.error(kv("quarantined", key=key[:12],
+                                      executors=len(executors)))
+                        telemetry.event("socket.quarantine", key=key[:12],
+                                        executors=sorted(executors))
+                        remaining.discard(key)
+                        yield key, False, quarantine_row(key, executors)
+                    else:
+                        ok, row = outcome
+                        remaining.discard(key)
+                        yield key, ok, row
         finally:
+            if reconnector is not None:
+                reconnector.stop()
             for link in live:
                 link.jobs.put(_DONE)
             for thread in threads:
                 thread.join(timeout=self.ping_grace)
-            for link in links:
+            # A redial may have landed after the loop finished; those
+            # links never got a driver thread -- just close them.
+            while True:
+                try:
+                    kind, link, _ = events.get_nowait()
+                except queue.Empty:
+                    break
+                if kind == "joined":
+                    all_links.append(link)
+            for link in all_links:
                 link.close()
-            stats["per_worker"] = {
-                link.address: link.completed for link in links
-            }
+            per_worker: Dict[str, int] = {}
+            chaos_counts: Dict[str, int] = {}
+            for link in all_links:
+                per_worker[link.address] = (
+                    per_worker.get(link.address, 0) + link.completed
+                )
+                stats["resends"] += link.resends
+                injected = getattr(link.sock, "counts", None)
+                if injected:
+                    for action, count in injected.items():
+                        chaos_counts[action] = (
+                            chaos_counts.get(action, 0) + count
+                        )
+            stats["per_worker"] = per_worker
+            stats["chaos"] = chaos_counts
             stats["ping_rtt_s"] = [
-                rtt for link in links for rtt in link.ping_rtts
+                rtt for link in all_links for rtt in link.ping_rtts
             ]
 
     def summary(self) -> str:
@@ -360,10 +753,24 @@ class SocketBackend(Backend):
                          f"({', '.join(stats['unreachable'])})")
         if stats["lost"]:
             parts.append(f"{stats['lost']} lost mid-campaign")
+        if stats["reconnects"]:
+            parts.append(f"{stats['reconnects']} reconnect(s)")
         if stats["requeued"]:
             parts.append(f"{stats['requeued']} scenario(s) requeued")
+        if stats["resends"]:
+            parts.append(f"{stats['resends']} job resend(s)")
+        if stats["quarantined"]:
+            parts.append(f"{stats['quarantined']} scenario(s) quarantined")
+        if stats["degraded"]:
+            parts.append("degraded to local isolated execution")
         if stats["duplicates"]:
             parts.append(f"{stats['duplicates']} duplicate result(s) dropped")
+        if stats.get("chaos"):
+            injected = ",".join(
+                f"{action}={count}"
+                for action, count in sorted(stats["chaos"].items())
+            )
+            parts.append(f"chaos injected {injected}")
         completed = ", ".join(
             f"{addr}={count}" for addr, count in stats["per_worker"].items()
         )
@@ -383,22 +790,23 @@ class SocketBackend(Backend):
     def _drive(
         self,
         link: _WorkerLink,
-        events: "queue.Queue[Tuple[str, _WorkerLink, Any]]",
+        events: "queue.Queue[Tuple[str, Any, Any]]",
     ) -> None:
         telemetry = current()
         occupancy = _Occupancy() if telemetry.enabled else None
-        inflight: Dict[str, Job] = {}
+        #: key -> mutable ``[job, sent_at_perf, resend_count]``.
+        inflight: Dict[str, List[Any]] = {}
         try:
             while True:
                 self._fill_window(link, inflight, telemetry, occupancy)
                 if link.finishing and not inflight:
                     self._farewell(link)
                     return
-                doc = self._await_frame(link)
+                doc = self._await_frame(link, inflight)
                 if doc["type"] == "result":
                     key = doc.get("key")
-                    job = inflight.pop(key, None)
-                    if job is not None:
+                    entry = inflight.pop(key, None)
+                    if entry is not None:
                         if occupancy is not None:
                             occupancy.change(-1)
                             self._record_job(telemetry, link, key, doc)
@@ -410,8 +818,8 @@ class SocketBackend(Backend):
         except Exception:  # noqa: BLE001 - any escape means this link is
             # done; anything short of reporting it dead would leave its
             # in-flight scenarios unresolved and submit() blocked forever.
-            leftovers = list(inflight.values()) + link.drain_jobs()
-            events.put(("dead", link, leftovers))
+            inflight_jobs = [entry[0] for entry in inflight.values()]
+            events.put(("dead", link, (inflight_jobs, link.drain_jobs())))
         finally:
             if occupancy is not None:
                 telemetry.event("socket.worker", worker=link.address,
@@ -451,7 +859,7 @@ class SocketBackend(Backend):
     def _fill_window(
         self,
         link: _WorkerLink,
-        inflight: Dict[str, Job],
+        inflight: Dict[str, List[Any]],
         telemetry: Telemetry,
         occupancy: Optional[_Occupancy],
     ) -> None:
@@ -477,7 +885,8 @@ class SocketBackend(Backend):
             try:
                 send_frame(link.sock, frame)
             except OSError as exc:
-                inflight[key] = (key, spec)  # count it as lost in-flight work
+                # Count it as lost in-flight work for the death report.
+                inflight[key] = [(key, spec), time.perf_counter(), 0]
                 raise _WorkerDied(str(exc)) from exc
             if telemetry.enabled:
                 sent_perf = time.perf_counter()
@@ -486,26 +895,70 @@ class SocketBackend(Backend):
                     sent_perf - serialize_start,
                     sent_perf,
                 )
-            inflight[key] = (key, spec)
+            inflight[key] = [(key, spec), time.perf_counter(), 0]
 
-    def _await_frame(self, link: _WorkerLink) -> Dict[str, Any]:
+    def _await_frame(self, link: _WorkerLink,
+                     inflight: Dict[str, List[Any]]) -> Dict[str, Any]:
         """One frame from the worker, with ping-based liveness checking.
 
         Reads go through the link's :class:`FrameReceiver
         <repro.runtime.backends.wire.FrameReceiver>`, so a timeout that
         lands mid-frame keeps the partial bytes buffered -- the follow-up
         read after the ping resumes the same frame instead of desyncing.
+        A worker that answers the ping but has starved a job past
+        ``job_timeout`` gets the job resent: connection-level liveness
+        cannot see a dropped frame, only per-job accounting can.
         """
         link.sock.settimeout(self.job_timeout)
         try:
             doc = link.reader.recv()
         except socket.timeout:
             doc = self._ping(link)
+            if doc is not None:
+                self._resend_stale(link, inflight)
         except (WireError, OSError) as exc:
             raise _WorkerDied(str(exc)) from exc
         if doc is None:
             raise _WorkerDied("connection closed")
         return doc
+
+    def _resend_stale(self, link: _WorkerLink,
+                      inflight: Dict[str, List[Any]]) -> None:
+        """Resend jobs outstanding past ``job_timeout`` on a live link.
+
+        The worker just proved liveness, so a stale job means its frame
+        (or its result) was lost in transit -- resend it; duplicate
+        results are deduplicated by key.  A job lost
+        :data:`MAX_RESENDS` times gives up on the link instead.
+        """
+        telemetry = current()
+        now = time.perf_counter()
+        for key, entry in inflight.items():
+            job, sent_at, resends = entry
+            if now - sent_at < self.job_timeout:
+                continue
+            if resends >= self.MAX_RESENDS:
+                raise _WorkerDied(
+                    f"job {key[:12]} still outstanding after "
+                    f"{resends} resend(s)"
+                )
+            frame = {
+                "type": "job", "key": key, "spec": job[1].to_dict(),
+                "sent_at": time.time(),
+            }
+            if telemetry.enabled:
+                frame["telemetry"] = True
+            try:
+                send_frame(link.sock, frame)
+            except OSError as exc:
+                raise _WorkerDied(str(exc)) from exc
+            entry[1] = time.perf_counter()
+            entry[2] = resends + 1
+            link.resends += 1
+            _log.warning(kv("resend", worker=link.address, key=key[:12],
+                            attempt=resends + 1))
+            telemetry.event("socket.resend", worker=link.address,
+                            key=key[:12], attempt=resends + 1)
 
     def _ping(self, link: _WorkerLink) -> Optional[Dict[str, Any]]:
         try:
@@ -530,6 +983,149 @@ class SocketBackend(Backend):
             send_frame(link.sock, {"type": "bye"})
         except OSError:
             pass
+
+    # -- isolated local execution (probe + degradation) ----------------
+
+    def _probe_isolated(self, job: Job) -> Optional[Tuple[bool, Dict[str, Any]]]:
+        """Run one poison suspect in a fresh ``spawn`` subprocess.
+
+        Returns the ``(ok, row)`` outcome, or ``None`` if the child
+        crashed or stalled -- the confirmation that the scenario, not the
+        workers it killed, is the problem.  Isolation is the point: an
+        innocent scenario that sat on repeatedly-dying workers produces
+        its real row here and the campaign stays byte-identical to
+        serial.
+        """
+        ctx = multiprocessing.get_context("spawn")
+        receiver, sender = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_isolated_executor, args=(sender, [job]), daemon=True,
+        )
+        proc.start()
+        sender.close()  # child holds the only writer: EOF means it died
+        deadline = time.monotonic() + self.job_timeout + _SPAWN_GRACE_S
+        try:
+            while True:
+                if receiver.poll(0.25):
+                    try:
+                        message = receiver.recv()
+                    except EOFError:
+                        return None
+                    if message[0] == "done":
+                        _, _, _, ok, row = message
+                        return ok, row
+                    continue  # "start" marker
+                if not proc.is_alive():
+                    return None
+                if time.monotonic() >= deadline:
+                    proc.terminate()
+                    return None
+        finally:
+            receiver.close()
+            proc.join(timeout=5.0)
+
+    def _drain_isolated(
+        self,
+        jobs: List[Job],
+        deaths: Dict[str, Set[str]],
+        telemetry: Telemetry,
+        stats: Dict[str, Any],
+    ) -> Iterator[JobResult]:
+        """Graceful degradation: finish ``jobs`` in local subprocesses.
+
+        One ``spawn`` child executes the list serially and streams rows
+        back over a pipe; if it dies, the job it had started but not
+        finished is the culprit -- charged with one executor death and
+        either retried in a fresh child or (past ``quarantine_after``)
+        quarantined.  Isolation means even a never-dispatched poison job
+        cannot take the driver down with it.
+
+        The channel is a ``Pipe``, not a ``Queue``, deliberately: queue
+        puts go through a feeder thread whose buffered items die with an
+        ``os._exit``, so results the child *did* produce before hitting a
+        poison job would vanish and the culprit index would drift onto an
+        innocent neighbour.  Pipe sends are synchronous writes -- every
+        ``start``/``done`` marker received is exact.
+        """
+        ctx = multiprocessing.get_context("spawn")
+        pending = list(jobs)
+        while pending:
+            receiver, sender = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_isolated_executor, args=(sender, pending),
+                daemon=True,
+            )
+            proc.start()
+            sender.close()
+            done = 0
+            started: Optional[int] = None
+            last_progress = time.monotonic()
+            stall_guard = self.job_timeout + _SPAWN_GRACE_S
+            child_alive = True
+            while done < len(pending):
+                if receiver.poll(0.25):
+                    try:
+                        message = receiver.recv()
+                    except EOFError:
+                        child_alive = False
+                        break
+                    last_progress = time.monotonic()
+                    if message[0] == "start":
+                        started = message[1]
+                        continue
+                    _, index, key, ok, row = message
+                    done = index + 1
+                    started = None
+                    yield key, ok, row
+                    continue
+                if not proc.is_alive():
+                    child_alive = False
+                    break
+                if time.monotonic() - last_progress >= stall_guard:
+                    proc.terminate()
+                    child_alive = False
+                    break
+            receiver.close()
+            proc.join(timeout=5.0)
+            if done >= len(pending) and child_alive:
+                return
+            culprit_index = started if started is not None else done
+            culprit = pending[culprit_index]
+            key = culprit[0]
+            executors = deaths.setdefault(key, set())
+            executors.add(f"isolated#{len(executors) + 1}")
+            if len(executors) >= self.quarantine_after:
+                stats["quarantined"] += 1
+                _log.error(kv("quarantined", key=key[:12],
+                              executors=len(executors)))
+                telemetry.event("socket.quarantine", key=key[:12],
+                                executors=sorted(executors))
+                yield key, False, quarantine_row(key, executors)
+                pending = pending[culprit_index + 1:]
+            else:
+                # Innocent until quarantine_after: retry in a fresh child.
+                pending = pending[culprit_index:]
+
+
+def _isolated_executor(conn: Any, jobs: List[Job]) -> None:
+    """Child entry point for probe/degradation subprocesses.
+
+    Executes ``jobs`` serially through the same :func:`execute_job` the
+    fleet uses (rows stay byte-identical), announcing each job before
+    touching it and streaming each outcome back over the pipe.  The
+    ``start`` marker is what lets the parent blame the exact job a crash
+    landed on.  Module-level so a ``spawn`` context can pickle it.
+    """
+    for index, job in enumerate(jobs):
+        conn.send(("start", index, job[0]))
+        key, ok, row = execute_job(job)
+        conn.send(("done", index, key, ok, row))
+    conn.close()
+
+
+def _jittered(delay: float) -> float:
+    """Add +/-25% jitter so retries from many drivers do not stampede."""
+    return delay * random.uniform(0.75, 1.25)
 
 
 def _shard(key: str, workers: int) -> int:

@@ -1,11 +1,16 @@
 """Framing and message vocabulary for the socket backend.
 
-Wire format: each frame is a 4-byte big-endian length prefix followed by
-that many bytes of UTF-8 JSON.  JSON keeps the protocol debuggable with
-``nc``/``tcpdump`` and version-skew tolerant (unknown fields are
-ignored); the length prefix makes frames self-delimiting over TCP's byte
-stream.  Frames are small (a scenario spec or one result row), so the
-cap below is generous.
+Wire format: each frame is an 8-byte big-endian header -- a 4-byte body
+length followed by the 4-byte CRC32 of the body -- then that many bytes
+of UTF-8 JSON.  JSON keeps the protocol debuggable with ``nc``/``tcpdump``
+and version-skew tolerant (unknown fields are ignored); the length prefix
+makes frames self-delimiting over TCP's byte stream; the checksum turns
+in-flight byte corruption (a fault-injection ``corrupt``, a broken
+middlebox) into a loud :class:`WireError` instead of a silently wrong
+result row -- campaign rows must be a pure function of scenario content,
+so a frame that cannot prove its integrity is refused, never parsed.
+Frames are small (a scenario spec or one result row), so the cap below
+is generous.
 
 Message vocabulary (the ``type`` field):
 
@@ -42,6 +47,7 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import zlib
 from typing import Any, Dict, Optional
 
 #: Handshake version; mismatched driver/worker pairs refuse to talk.
@@ -53,10 +59,14 @@ from typing import Any, Dict, Optional
 #: telemetry; ``result`` frames carry a ``timing`` sidecar -- a v2
 #: worker would silently return no timings, making telemetry campaigns
 #: under-report worker phases, so the skew is refused up front.
-PROTOCOL_VERSION = 3
+#: v4: the frame header grew a CRC32 of the body -- a v3 peer's 4-byte
+#: headers would be misparsed as half of an 8-byte one, so the formats
+#: cannot coexist on one stream and the skew is refused at handshake.
+PROTOCOL_VERSION = 4
 
-#: Frame length prefix: 4-byte unsigned big-endian.
-_HEADER = struct.Struct(">I")
+#: Frame header: 4-byte body length + 4-byte CRC32 of the body, both
+#: unsigned big-endian.
+_HEADER = struct.Struct(">II")
 
 #: Upper bound on one frame's JSON body (defense against garbage peers).
 MAX_FRAME_BYTES = 32 * 1024 * 1024
@@ -71,7 +81,9 @@ def send_frame(sock: socket.socket, doc: Dict[str, Any]) -> None:
     body = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise WireError(f"frame of {len(body)} bytes exceeds cap")
-    sock.sendall(_HEADER.pack(len(body)) + body)
+    # One sendall per frame: fault-injection wrappers (see chaos.py)
+    # count on header+body crossing the chaos point as a single unit.
+    sock.sendall(_HEADER.pack(len(body), zlib.crc32(body)) + body)
 
 
 def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
@@ -87,11 +99,11 @@ def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
     header = _recv_exact(sock, _HEADER.size, eof_ok=True)
     if header is None:
         return None
-    (length,) = _HEADER.unpack(header)
+    length, crc = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise WireError(f"frame length {length} exceeds cap")
     body = _recv_exact(sock, length, eof_ok=False)
-    return _decode_body(body)
+    return _decode_body(body, crc)
 
 
 class FrameReceiver:
@@ -111,6 +123,7 @@ class FrameReceiver:
         self.sock = sock
         self._buffer = bytearray()
         self._length: Optional[int] = None  # parsed header awaiting body
+        self._crc = 0  # checksum from the parsed header
 
     def recv(self) -> Optional[Dict[str, Any]]:
         """One frame; ``None`` on orderly EOF at a frame boundary.
@@ -122,16 +135,17 @@ class FrameReceiver:
         if self._length is None:
             if not self._fill(_HEADER.size, eof_ok=True):
                 return None
-            (length,) = _HEADER.unpack(bytes(self._buffer[: _HEADER.size]))
+            length, crc = _HEADER.unpack(bytes(self._buffer[: _HEADER.size]))
             if length > MAX_FRAME_BYTES:
                 raise WireError(f"frame length {length} exceeds cap")
             del self._buffer[: _HEADER.size]
             self._length = length
+            self._crc = crc
         self._fill(self._length, eof_ok=False)
         body = bytes(self._buffer[: self._length])
         del self._buffer[: self._length]
         self._length = None
-        return _decode_body(body)
+        return _decode_body(body, self._crc)
 
     def _fill(self, count: int, eof_ok: bool) -> bool:
         """Buffer at least ``count`` bytes; ``False`` on EOF before the
@@ -151,7 +165,13 @@ class FrameReceiver:
         return True
 
 
-def _decode_body(body: bytes) -> Dict[str, Any]:
+def _decode_body(body: bytes, crc: int) -> Dict[str, Any]:
+    actual = zlib.crc32(body)
+    if actual != crc:
+        raise WireError(
+            f"checksum mismatch: header says {crc:#010x}, "
+            f"body hashes to {actual:#010x} ({len(body)} bytes)"
+        )
     try:
         doc = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

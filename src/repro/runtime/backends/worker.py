@@ -16,7 +16,11 @@ Each accepted connection gets two threads:
 Failure injection: ``die_after_jobs=N`` makes the worker drop the
 connection -- and stop serving -- immediately after accepting its
 ``N+1``-th job, without replying.  Tests and the CI ``backend-smoke`` job
-use it to prove that campaigns survive a worker dying mid-run.
+use it to prove that campaigns survive a worker dying mid-run.  For
+probabilistic faults, ``chaos=ChaosPolicy(...)`` (CLI ``--chaos SPEC``)
+wraps each accepted connection in a :class:`~repro.runtime.backends.chaos.
+ChaosSocket` that perturbs worker-to-driver frames -- armed only after
+the handshake, so session establishment stays deterministic.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from typing import Any, Dict, Optional, Tuple
 from ...obs.logsetup import configure_logging, kv
 from ..scenario import ScenarioSpec
 from .base import execute_job, timed_execute_job
+from .chaos import ChaosPolicy, ChaosSocket
 from .wire import PROTOCOL_VERSION, WireError, recv_frame, send_frame
 
 #: Structured worker log: accept/handshake/disconnect/die events as
@@ -48,6 +53,8 @@ class WorkerServer:
         port: port to bind; ``0`` picks a free port (see :attr:`port`).
         die_after_jobs: failure injection -- accept this many jobs, then
             drop dead (``None`` disables).
+        chaos: optional :class:`ChaosPolicy` applied to every accepted
+            connection's outbound frames (armed post-handshake).
         log: optional ``print``-like callable for one-line status output.
     """
 
@@ -61,11 +68,13 @@ class WorkerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         die_after_jobs: Optional[int] = None,
+        chaos: Optional[ChaosPolicy] = None,
         log: Optional[Any] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.die_after_jobs = die_after_jobs
+        self.chaos = chaos
         self.log = log or (lambda *_: None)
         self.jobs_done = 0
         self.sessions = 0
@@ -96,7 +105,8 @@ class WorkerServer:
         self.log(f"worker listening on {self.host}:{self.port}")
         _log.info(kv("serving", host=self.host, port=self.port,
                      protocol=PROTOCOL_VERSION,
-                     die_after_jobs=self.die_after_jobs))
+                     die_after_jobs=self.die_after_jobs,
+                     chaos=self.chaos.describe() if self.chaos else None))
         return self.host, self.port
 
     def serve_forever(self) -> None:
@@ -146,6 +156,17 @@ class WorkerServer:
                 # keeps an EMFILE storm from spinning the loop.
                 self._stopping.wait(0.05)
                 continue
+            if self._stopping.is_set():
+                # stop() closed the listener, but this thread was blocked
+                # in accept(2) holding a kernel reference to it, so the
+                # port kept accepting -- a driver redialing a worker that
+                # just injected its death could otherwise get a fresh
+                # session from the "corpse".  Refuse and shut down.
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                return
             self.sessions += 1
             threading.Thread(
                 target=self._serve_connection, args=(conn, peer),
@@ -155,6 +176,12 @@ class WorkerServer:
     def _serve_connection(self, conn: socket.socket, peer: Any) -> None:
         _enable_keepalive(conn)
         peer_name = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else str(peer)
+        if self.chaos is not None:
+            # Disarmed through the handshake: chaos may destroy sessions,
+            # never prevent them from being judged (version check first).
+            conn = self.chaos.wrap(
+                conn, label=f"worker:{self.port}->{peer_name}", armed=False,
+            )
         session_start = time.perf_counter()
         session_jobs = 0
         _log.info(kv("accept", peer=peer_name, session=self.sessions))
@@ -170,6 +197,8 @@ class WorkerServer:
             if not self._handshake(conn, send_lock, peer_name):
                 return
             conn.settimeout(None)  # drivers go quiet while we execute
+            if isinstance(conn, ChaosSocket):
+                conn.arm()
             while True:
                 doc = recv_frame(conn)
                 if doc is None or doc["type"] == "bye":
@@ -195,8 +224,10 @@ class WorkerServer:
             pass  # peer vanished or spoke garbage: drop the session
         finally:
             jobs.put(None)
+            injected = conn.counts if isinstance(conn, ChaosSocket) else None
             _log.info(kv("disconnect", peer=peer_name, jobs=session_jobs,
-                         dur_s=round(time.perf_counter() - session_start, 6)))
+                         dur_s=round(time.perf_counter() - session_start, 6),
+                         chaos=injected or None))
             try:
                 conn.close()
             except OSError:
@@ -307,7 +338,8 @@ class WorkerServer:
 
 
 def serve(address: str, die_after_jobs: Optional[int] = None,
-          log_level: str = "info") -> int:
+          log_level: str = "info",
+          chaos: Optional[ChaosPolicy] = None) -> int:
     """CLI entry: serve on ``HOST:PORT`` until interrupted (or dead).
 
     Structured log lines (accept/handshake/disconnect/die-after-jobs) go
@@ -319,7 +351,8 @@ def serve(address: str, die_after_jobs: Optional[int] = None,
     configure_logging(log_level)
     host, port = parse_address(address)
     server = WorkerServer(host=host, port=port,
-                          die_after_jobs=die_after_jobs, log=_log_flush)
+                          die_after_jobs=die_after_jobs, chaos=chaos,
+                          log=_log_flush)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -47,6 +47,10 @@ class CampaignStats:
     cached: int = 0
     failed: int = 0
     deduplicated: int = 0
+    #: Subset of ``failed`` that the backend quarantined as poison
+    #: (structured rows carrying a ``quarantine`` block; see
+    #: :func:`repro.runtime.backends.base.quarantine_row`).
+    quarantined: int = 0
 
 
 @dataclass
@@ -183,6 +187,8 @@ class CampaignRunner:
                             self.store.put(key, row)
                     else:
                         stats.failed += 1
+                        if "quarantine" in row:
+                            stats.quarantined += 1
                 if self.store is not None:
                     with telemetry.span("store.sync"):
                         self.store.sync()
@@ -197,6 +203,7 @@ class CampaignRunner:
                         executed=stats.executed, cached=stats.cached,
                         failed=stats.failed,
                         deduplicated=stats.deduplicated,
+                        quarantined=stats.quarantined,
                         backend=backend.name)
 
         rows = [results[key] for key, _ in keyed]

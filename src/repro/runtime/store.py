@@ -50,6 +50,11 @@ class ResultStore:
         #: (crash-recovery rewrites, duplicate merges); ``compact`` drops
         #: them.
         self.superseded_lines = 0
+        #: ``True`` when the file's final line is an unterminated,
+        #: unparseable fragment -- the signature of a crash mid-append
+        #: (as opposed to corruption elsewhere, which suggests external
+        #: damage).  The next :meth:`put` re-aligns to a fresh line.
+        self.torn_tail = False
         self.total_lines = 0
         self._rows: Dict[str, Dict[str, Any]] = {}
         self._needs_newline = False
@@ -70,6 +75,7 @@ class ResultStore:
         self._close_handle()
         self.corrupt_lines = 0
         self.superseded_lines = 0
+        self.torn_tail = False
         self.total_lines = 0
         self._rows = {}
         self._needs_newline = False
@@ -80,7 +86,8 @@ class ResultStore:
             return
         data = self.path.read_bytes()
         self._needs_newline = bool(data) and not data.endswith(b"\n")
-        for line in data.splitlines():
+        lines = data.splitlines()
+        for index, line in enumerate(lines):
             line = line.strip()
             if not line:
                 continue
@@ -90,6 +97,10 @@ class ResultStore:
                 key, row = doc["key"], doc["row"]
             except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
                 self.corrupt_lines += 1
+                # An unparseable *final* line with no trailing newline is
+                # a torn append (crash mid-write), not external damage.
+                if index == len(lines) - 1 and self._needs_newline:
+                    self.torn_tail = True
                 continue
             if not isinstance(key, str) or not isinstance(row, dict):
                 self.corrupt_lines += 1
@@ -121,8 +132,11 @@ class ResultStore:
             line = json.dumps({"key": key, "row": row}, sort_keys=True)
             handle = self._append_handle()
             if self._needs_newline:
+                # Terminate the torn fragment: it stays in the file as one
+                # corrupt (skipped) line, but the tail is whole again.
                 handle.write("\n")
                 self._needs_newline = False
+                self.torn_tail = False
             handle.write(line + "\n")
             handle.flush()
             self._rows[key] = row
@@ -278,6 +292,7 @@ class ResultStore:
         os.replace(tmp, self.path)
         self.corrupt_lines = 0
         self.superseded_lines = 0
+        self.torn_tail = False
         self.total_lines = len(self._rows)
         self._needs_newline = False
 

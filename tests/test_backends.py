@@ -11,6 +11,7 @@ content hash.
 import json
 import os
 import socket as socket_module
+import zlib
 
 import pytest
 
@@ -53,6 +54,12 @@ def sorted_rows_blob(rows):
     return json.dumps(ordered, sort_keys=True).encode("utf-8")
 
 
+def raw_frame(body: bytes) -> bytes:
+    """Hand-rolled v4 frame: 8-byte (length, crc32) header + body."""
+    return (len(body).to_bytes(4, "big")
+            + zlib.crc32(body).to_bytes(4, "big") + body)
+
+
 @pytest.fixture
 def worker_pair():
     """Two live in-process TCP workers; stopped on teardown."""
@@ -92,7 +99,7 @@ class TestWire:
 
     def test_garbage_body_raises(self):
         a, b = socket_module.socketpair()
-        a.sendall(b"\x00\x00\x00\x03not")
+        a.sendall(raw_frame(b"not"))
         with pytest.raises(WireError, match="undecodable"):
             recv_frame(b)
         a.close()
@@ -100,8 +107,38 @@ class TestWire:
 
     def test_untyped_object_raises(self):
         a, b = socket_module.socketpair()
-        a.sendall(b"\x00\x00\x00\x02[]")
+        a.sendall(raw_frame(b"[]"))
         with pytest.raises(WireError, match="typed"):
+            recv_frame(b)
+        a.close()
+        b.close()
+
+    def test_checksum_mismatch_raises(self):
+        # A corrupted body whose length still matches the header must be
+        # refused by the crc32 check, never parsed as a (possibly valid)
+        # different document.
+        body = b'{"type":"pong"}'
+        header = (len(body).to_bytes(4, "big")
+                  + (zlib.crc32(body) ^ 0xFF).to_bytes(4, "big"))
+        a, b = socket_module.socketpair()
+        a.sendall(header + body)
+        with pytest.raises(WireError, match="checksum mismatch"):
+            recv_frame(b)
+        a.close()
+        b.close()
+
+    def test_flipped_body_byte_is_caught(self):
+        # End-to-end: a single bit flip anywhere in the body trips the
+        # checksum even though the JSON may still decode.
+        doc = {"type": "result", "key": "ab" * 32, "ok": True,
+               "row": {"agreed": True}}
+        body = json.dumps(doc, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        frame = bytearray(raw_frame(body))
+        frame[8 + 10] ^= 0x20  # flip a byte mid-body
+        a, b = socket_module.socketpair()
+        a.sendall(bytes(frame))
+        with pytest.raises(WireError, match="checksum"):
             recv_frame(b)
         a.close()
         b.close()
@@ -127,15 +164,15 @@ class TestFrameReceiver:
                    "row": {"agreed": True}}
             body = json.dumps(doc, sort_keys=True,
                               separators=(",", ":")).encode("utf-8")
-            frame = len(body).to_bytes(4, "big") + body
+            frame = raw_frame(body)
             receiver = FrameReceiver(b)
             b.settimeout(0.05)
-            a.sendall(frame[:7])  # header + 3 body bytes
+            a.sendall(frame[:11])  # 8-byte header + 3 body bytes
             with pytest.raises(socket_module.timeout):
                 receiver.recv()
             with pytest.raises(socket_module.timeout):
                 receiver.recv()  # still stalled; buffer still intact
-            a.sendall(frame[7:])
+            a.sendall(frame[11:])
             assert receiver.recv() == doc
             # and the stream position is exact: a follow-up frame parses
             send_frame(a, {"type": "pong"})
@@ -149,10 +186,11 @@ class TestFrameReceiver:
         try:
             receiver = FrameReceiver(b)
             b.settimeout(0.05)
-            a.sendall(b"\x00\x00")  # half a length prefix
+            frame = raw_frame(b"{}")
+            a.sendall(frame[:2])  # a fragment of the 8-byte header
             with pytest.raises(socket_module.timeout):
                 receiver.recv()
-            a.sendall(b"\x00\x02{}")
+            a.sendall(frame[2:])
             with pytest.raises(WireError, match="typed"):
                 receiver.recv()  # untyped object, but framing stayed true
         finally:
@@ -173,7 +211,7 @@ class TestFrameReceiver:
 
     def test_oversized_length_raises(self):
         a, b = socket_module.socketpair()
-        a.sendall(b"\xff\xff\xff\xff")
+        a.sendall(b"\xff\xff\xff\xff" + b"\x00" * 4)  # full 8-byte header
         with pytest.raises(WireError, match="exceeds cap"):
             FrameReceiver(b).recv()
         a.close()
@@ -272,11 +310,14 @@ class TestBackendEquivalence:
                 server.stop()
 
     def test_all_workers_dead_aborts(self):
+        # With reconnect and degradation disabled, losing the whole fleet
+        # is fail-stop: the campaign aborts instead of limping along.
         doomed = WorkerServer(die_after_jobs=0)
         doomed.start()
         try:
             backend = SocketBackend(
-                [doomed.address], job_timeout=5.0, ping_grace=1.0
+                [doomed.address], job_timeout=5.0, ping_grace=1.0,
+                reconnect=False, degrade=False,
             )
             with pytest.raises(BackendError, match="died"):
                 run_campaign(
@@ -387,7 +428,7 @@ class TestSocketBackendSetup:
         assert backend.last_stats["unreachable"] == [dead_address]
         strict = SocketBackend(
             [worker_pair[0].address, dead_address],
-            connect_timeout=2.0, require_all=True,
+            connect_timeout=2.0, require_all=True, connect_retries=0,
         )
         with pytest.raises(BackendError, match="unreachable"):
             run_campaign([ScenarioSpec(n=5, t=1, f=1, seed=1)], backend=strict)
@@ -397,7 +438,9 @@ class TestSocketBackendSetup:
         probe.bind(("127.0.0.1", 0))
         dead_address = "127.0.0.1:%d" % probe.getsockname()[1]
         probe.close()
-        backend = SocketBackend([dead_address], connect_timeout=1.0)
+        backend = SocketBackend(
+            [dead_address], connect_timeout=1.0, connect_retries=0
+        )
         with pytest.raises(BackendError, match="no socket workers reachable"):
             run_campaign([ScenarioSpec(n=5, t=1, f=1)], backend=backend)
 
@@ -481,6 +524,20 @@ class TestMakeBackend:
             make_backend("socket")
         with pytest.raises(ValueError, match="unknown backend"):
             make_backend("carrier-pigeon")
+
+    def test_resilience_knobs_reach_the_socket_backend(self):
+        from repro.runtime import ChaosPolicy
+
+        chaos = ChaosPolicy(drop=0.1, seed=7)
+        backend = make_backend(
+            connect=["127.0.0.1:7501"], require_all=True,
+            connect_retries=5, backoff=0.25, chaos=chaos,
+        )
+        assert isinstance(backend, SocketBackend)
+        assert backend.require_all is True
+        assert backend.connect_retries == 5
+        assert backend.backoff == 0.25
+        assert backend.chaos is chaos
 
     def test_connect_with_local_backend_is_refused(self):
         # A typo'd --backend must not silently run the campaign locally
@@ -713,7 +770,7 @@ class TestBackendCli:
         dead_address = "127.0.0.1:%d" % probe.getsockname()[1]
         probe.close()
         assert main(["campaign", "--n", "5", "--backend", "socket",
-                     "--connect", dead_address]) == 1
+                     "--connect", dead_address, "--connect-retries", "0"]) == 1
         assert "no socket workers reachable" in capsys.readouterr().err
 
     def test_worker_bad_address_exits_2(self, capsys):
