@@ -7,10 +7,11 @@ driving real worker *processes* (spawned via ``python -m repro worker
 --serve 127.0.0.1:0``, exactly the production path) at throughput
 comparable to the in-tree multiprocessing pool.
 
-Results are written to ``BENCH_backends.json`` at the repo root
-(gitignored: timings are per-machine), alongside ``BENCH_hotpath.json``,
-so future scaling PRs (job arrays, SSH fleets, async engine) can compare
-against a locally regenerated baseline.
+Results are written to ``BENCH_backends.json`` at the repo root.
+Unlike ``BENCH_hotpath.json`` (gitignored, per-machine), this file is
+*committed*: the CI ``backend-smoke`` job regenerates it and fails if
+the socket backend's ``vs_serial`` speedup regresses below the
+committed value, so dispatch-path regressions surface as a diff.
 """
 
 from __future__ import annotations
@@ -38,6 +39,10 @@ from repro.runtime import (
 from conftest import print_table
 
 WORKERS = 2
+#: Scenarios per wire frame for the socket pass (PR 8): batching plus
+#: the adaptive pipeline window is what lifts 2 TCP workers past serial
+#: instead of drowning in per-job framing.
+BATCH = 16
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
 
 #: Enough work for per-scenario cost to dominate setup, small enough for
@@ -93,14 +98,26 @@ def test_backend_throughput_and_equivalence():
             proc, address = spawn_worker()
             procs.append(proc)
             addresses.append(address)
-        backend = SocketBackend(addresses, job_timeout=120.0)
+        backend = SocketBackend(
+            addresses, job_timeout=120.0, batch=BATCH, adaptive_window=True,
+        )
         sock, sock_row = timed(backend, f"socket[{WORKERS}]")
+        # Same fleet, unbatched (v4-equivalent dispatch): the spread
+        # between this row and the one above is the batching win itself,
+        # measured on one machine in one run.
+        unbatched, unbatched_row = timed(
+            SocketBackend(addresses, job_timeout=120.0),
+            f"socket[{WORKERS}] batch=1",
+        )
         # Separate instrumented pass (workers still alive): the timed run
         # above stays untouched by telemetry overhead, and this one
         # decomposes the socket pipeline into phases for the JSON.
         telemetry = Telemetry()
         CampaignRunner(
-            backend=SocketBackend(addresses, job_timeout=120.0),
+            backend=SocketBackend(
+                addresses, job_timeout=120.0, batch=BATCH,
+                adaptive_window=True,
+            ),
             telemetry=telemetry,
         ).run(GRID)
         phase_rows = phase_breakdown(telemetry.rows)
@@ -110,22 +127,26 @@ def test_backend_throughput_and_equivalence():
             proc.kill()
             proc.wait(timeout=10)
 
-    # Equivalence: three backends, one row stream.
+    # Equivalence: every backend, one row stream.
     assert pool.rows == serial.rows
     assert sock.rows == serial.rows
+    assert unbatched.rows == serial.rows
     per_worker = backend.last_stats["per_worker"]
     assert all(count > 0 for count in per_worker.values()), per_worker
 
-    for row in (pool_row, sock_row):
+    for row in (pool_row, sock_row, unbatched_row):
         row["vs_serial"] = round(
             serial_row["wall_s"] / row["wall_s"], 2
         )
     serial_row["vs_serial"] = 1.0
-    rows = [serial_row, pool_row, sock_row]
+    # backends[2] is the batched socket row -- the one the CI bench-trend
+    # step tracks; the batch=1 row rides behind it for the comparison.
+    rows = [serial_row, pool_row, sock_row, unbatched_row]
     BENCH_PATH.write_text(
         json.dumps(
             {
                 "backends": rows,
+                "cpu_count": os.cpu_count(),
                 "socket_phases": phase_rows,
                 "socket_summary": phase_summary,
             },
@@ -143,8 +164,22 @@ def test_backend_throughput_and_equivalence():
         ["phase", "count", "total_s", "mean_ms", "share_%"],
         f"Socket pipeline phases ({WORKERS} workers, instrumented pass)",
     )
-    # Loose sanity bar (not a speedup assertion: CI boxes vary): a fleet
-    # of real worker processes must not collapse to worse than half the
-    # serial throughput -- that would mean the protocol overhead, not the
-    # scenarios, dominates.
-    assert sock_row["scen_per_s"] >= 0.5 * serial_row["scen_per_s"], rows
+    # Speedup bar (PR 8): with batched frames and the adaptive window,
+    # protocol overhead must no longer dominate.  What that means is
+    # CPU-bound: scenarios are pure compute, so on a single-core box a
+    # worker fleet *cannot* beat serial (there is no second core to run
+    # it on) and the bar is "batching keeps total overhead under ~15%";
+    # with 2+ cores the fleet must genuinely beat serial.  The CI
+    # bench-trend step separately refuses regressions below the
+    # committed vs_serial value.
+    floor = 1.2 if (os.cpu_count() or 1) >= 2 else 0.85
+    assert sock_row["scen_per_s"] >= floor * serial_row["scen_per_s"], rows
+    # And batching must not be slower than per-job dispatch on the same
+    # fleet (margin for timer noise at these sub-second walls).
+    assert (sock_row["scen_per_s"]
+            >= 0.9 * unbatched_row["scen_per_s"]), rows
+    # Phase shares are wall-clock fractions (union of intervals), so no
+    # phase may claim more than 100% of the wall -- the share_% fix this
+    # PR regression-tests.
+    for row in phase_rows:
+        assert row["share_%"] == "" or row["share_%"] <= 100.0, row

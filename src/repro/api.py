@@ -471,6 +471,8 @@ class Experiment:
         require_all: bool = False,
         connect_retries: int = 2,
         backoff: float = 0.5,
+        batch: int = 1,
+        adaptive_window: bool = False,
         chunk_size: Optional[int] = None,
         mp_context: str = "fork",
         lock: bool = True,
@@ -496,6 +498,11 @@ class Experiment:
                 workers, with exponential backoff from ``backoff``.
             backoff: base backoff seconds for socket connect retries and
                 mid-campaign reconnects.
+            batch: scenarios packed into each socket wire frame (1 =
+                unbatched); amortizes per-job dispatch/wire overhead.
+            adaptive_window: let each socket link's pipeline window
+                self-tune -- widen while its worker reports near-zero
+                queue wait, shrink under heartbeat pressure.
             chunk_size / mp_context: pool-backend tuning.
             lock: hold the store's exclusive writer lockfile while
                 executing (see :class:`CampaignRunner`).
@@ -515,6 +522,7 @@ class Experiment:
             backend, workers=workers, connect=connect,
             job_timeout=job_timeout, require_all=require_all,
             connect_retries=connect_retries, backoff=backoff,
+            batch=batch, adaptive_window=adaptive_window,
         )
         try:
             runner = CampaignRunner(
@@ -549,6 +557,8 @@ class Experiment:
         require_all: bool = False,
         connect_retries: int = 2,
         backoff: float = 0.5,
+        batch: int = 1,
+        adaptive_window: bool = False,
     ) -> Report:
         """Build a report, executing only scenarios the store is missing.
 
@@ -577,6 +587,7 @@ class Experiment:
             backend, workers=workers, connect=connect,
             job_timeout=job_timeout, require_all=require_all,
             connect_retries=connect_retries, backoff=backoff,
+            batch=batch, adaptive_window=adaptive_window,
         )
         try:
             return build_report(
@@ -686,6 +697,8 @@ class Experiment:
         require_all: bool = False,
         connect_retries: int = 2,
         backoff: float = 0.5,
+        batch: int = 1,
+        adaptive_window: bool = False,
     ) -> Tuple[Optional[Backend], bool]:
         """The backend to run on, plus whether this call owns it."""
         if isinstance(backend, Backend):
@@ -701,6 +714,8 @@ class Experiment:
                 require_all=require_all,
                 connect_retries=connect_retries,
                 backoff=backoff,
+                batch=batch,
+                adaptive_window=adaptive_window,
             ),
             True,
         )

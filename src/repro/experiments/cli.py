@@ -265,7 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--die-after-jobs", type=int, default=None, metavar="N",
         help="failure injection for tests/CI: accept N jobs, then drop "
-        "dead without replying",
+        "dead without replying (a batch crossing the limit dies whole)",
+    )
+    worker.add_argument(
+        "--shard", default=None, metavar="PATH",
+        help="append ok result rows to this local JSONL shard instead of "
+        "shipping them over the wire; the driver reconciles shards "
+        "through the store-merge path (requires a filesystem the driver "
+        "can read; one distinct path per worker)",
     )
     worker.add_argument(
         "--log-level", choices=sorted(LOG_LEVELS), default="info",
@@ -351,6 +358,17 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
         help="socket backend: base backoff for connect retries and "
         "mid-campaign reconnects (doubles per failure; default: 0.5)",
     )
+    parser.add_argument(
+        "--batch", type=int, default=1, metavar="N",
+        help="socket backend: scenarios packed into each wire frame "
+        "(amortizes per-job dispatch/wire overhead; default: 1)",
+    )
+    parser.add_argument(
+        "--adaptive-window", action="store_true",
+        help="socket backend: self-tune each worker's pipeline window "
+        "(widen while the worker reports near-zero queue wait, shrink "
+        "under heartbeat pressure)",
+    )
 
 
 def _profile_scenario(experiment: Experiment, top: int) -> int:
@@ -416,6 +434,8 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
             require_all=args.require_all,
             connect_retries=args.connect_retries,
             backoff=args.backoff,
+            batch=args.batch,
+            adaptive_window=args.adaptive_window,
             telemetry=args.telemetry or None,
         )
     except ValueError as exc:
@@ -485,6 +505,8 @@ def _run_report_command(args: argparse.Namespace) -> int:
                 require_all=args.require_all,
                 connect_retries=args.connect_retries,
                 backoff=args.backoff,
+                batch=args.batch,
+                adaptive_window=args.adaptive_window,
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -518,7 +540,8 @@ def _run_worker_command(args: argparse.Namespace) -> int:
     try:
         chaos = ChaosPolicy.parse(args.chaos) if args.chaos else None
         return serve(args.serve, die_after_jobs=args.die_after_jobs,
-                     log_level=args.log_level, chaos=chaos)
+                     log_level=args.log_level, chaos=chaos,
+                     shard=args.shard)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -83,19 +83,65 @@ def campaign_wall(rows: Sequence[Dict[str, Any]]) -> Optional[float]:
     return float(spans[-1].get("dur") or 0.0)
 
 
+def _union_seconds(intervals: Sequence[tuple]) -> float:
+    """Total length of the union of ``(start, stop)`` intervals.
+
+    Overlap collapses: ten jobs queueing through the same second
+    contribute one second, not ten -- the property that keeps a phase's
+    wall-clock share at or below 100%.
+    """
+    total = 0.0
+    edge: Optional[float] = None
+    for start, stop in sorted(intervals):
+        if edge is None or start > edge:
+            total += stop - start
+            edge = stop
+        elif stop > edge:
+            total += stop - edge
+            edge = stop
+    return total
+
+
 def phase_breakdown(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
     """Per-phase totals over every ``job`` event and store/lock span.
 
-    Returns table rows ``{phase, count, total_s, mean_ms, share_%}``
-    where share is against the campaign wall clock (blank without a
-    campaign span).  Includes a synthetic ``wire+dispatch`` phase: the
-    per-job residual ``inflight - deserialize - worker queue - execute``,
-    i.e. time a job was in flight but provably not executing -- framing,
-    TCP, and driver loop overhead.
+    Returns table rows ``{phase, count, total_s, mean_ms, share_%}``.
+    ``total_s`` sums per-job durations, so concurrent phases (every
+    queued job waits at once) can legitimately exceed the wall clock.
+    ``share_%`` answers a different question -- "what fraction of the
+    campaign wall saw this phase active?" -- so it reconstructs each
+    job's phase *intervals* on the telemetry clock (job events are
+    emitted at batch completion; phases are laid out backwards from
+    ``at`` on the driver side and forwards from batch receipt on the
+    worker side) and divides the union of those intervals by the wall.
+    By construction every share is <= 100%, no matter how many jobs
+    overlap.  Blank without a campaign span.
+
+    Includes a synthetic ``wire+dispatch`` phase: the driver-computed
+    ``wire_s`` attribute when present (batched frames: in-flight residual
+    split evenly across the batch), else the per-job residual ``inflight
+    - deserialize - worker queue - execute`` -- time a job was in flight
+    but provably not executing: framing, TCP, and driver loop overhead.
     """
     jobs = _events(rows, "job")
     wall = campaign_wall(rows)
+    spans = _spans(rows, "campaign")
+    clip: Optional[tuple] = None
+    if spans:
+        last = spans[-1]
+        if last.get("start") is not None and last.get("dur") is not None:
+            start = float(last["start"])
+            clip = (start, start + float(last["dur"]))
+
     totals: Dict[str, List[float]] = defaultdict(list)
+    intervals: Dict[str, List[tuple]] = defaultdict(list)
+
+    def mark(label: str, start: float, stop: float) -> None:
+        if clip is not None:
+            start, stop = max(start, clip[0]), min(stop, clip[1])
+        if stop > start:
+            intervals[label].append((start, stop))
+
     for job in jobs:
         attrs = job.get("attrs") or {}
         for field, label in _JOB_PHASES:
@@ -103,18 +149,63 @@ def phase_breakdown(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
             if value is not None:
                 totals[label].append(float(value))
         inflight = attrs.get("inflight_s")
-        if inflight is not None:
+        wire = attrs.get("wire_s")
+        if wire is not None:
+            wire = float(wire)
+            totals["wire+dispatch"].append(wire)
+        elif inflight is not None:
             residual = float(inflight)
             for field in ("deser_s", "worker_queue_s", "exec_s"):
                 residual -= float(attrs.get(field) or 0.0)
-            totals["wire+dispatch"].append(max(residual, 0.0))
+            wire = max(residual, 0.0)
+            totals["wire+dispatch"].append(wire)
+
+        at = job.get("at")
+        if at is None:
+            continue
+        at = float(at)
+        exec_s = float(attrs.get("exec_s") or 0.0)
+        if inflight is None:
+            # Local (serial/pool/degraded) job: only execute is known,
+            # ending at the event timestamp.
+            mark("execute", at - exec_s, at)
+            continue
+        # Socket job: the event fires when its batch's results frame
+        # lands, so the batch was in flight over [at - inflight, at].
+        # Driver-side phases precede dispatch; worker-side phases are
+        # laid out forward from batch receipt (~ dispatch), each job's
+        # worker queue_s already offsetting it past its batch-mates.
+        inflight = float(inflight)
+        batch_start = at - inflight
+        mark("in flight", batch_start, at)
+        serialize = float(attrs.get("serialize_s") or 0.0)
+        mark("serialize", batch_start - serialize, batch_start)
+        queue = float(attrs.get("queue_s") or 0.0)
+        mark("queue wait*", batch_start - serialize - queue,
+             batch_start - serialize)
+        worker_queue = float(attrs.get("worker_queue_s") or 0.0)
+        mark("queue (worker)", batch_start, batch_start + worker_queue)
+        deser = float(attrs.get("deser_s") or 0.0)
+        mark("deserialize (worker)", batch_start + worker_queue,
+             batch_start + worker_queue + deser)
+        mark("execute", batch_start + worker_queue + deser,
+             batch_start + worker_queue + deser + exec_s)
+        if wire:
+            mark("wire+dispatch", at - wire, at)
+
     for span_name, label in _SPAN_PHASES:
         for span in _spans(rows, span_name):
-            totals[label].append(float(span.get("dur") or 0.0))
+            dur = float(span.get("dur") or 0.0)
+            totals[label].append(dur)
+            if span.get("start") is not None:
+                mark(label, float(span["start"]), float(span["start"]) + dur)
     for connect in _events(rows, "socket.connect"):
         value = (connect.get("attrs") or {}).get("dur_s")
         if value is not None:
             totals["connect"].append(float(value))
+            if connect.get("at") is not None:
+                mark("connect", float(connect["at"]) - float(value),
+                     float(connect["at"]))
 
     order = [label for _, label in _JOB_PHASES]
     order.insert(order.index("execute"), "wire+dispatch")
@@ -125,12 +216,20 @@ def phase_breakdown(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
         if not values:
             continue
         total = sum(values)
+        share: Any = ""
+        if wall:
+            spanned = intervals.get(label)
+            # Union of reconstructed intervals when the events carry
+            # timestamps; a sink without them falls back to the summed
+            # total (historic behaviour, capped only by honesty).
+            active = _union_seconds(spanned) if spanned else total
+            share = round(active / wall * 100, 1)
         breakdown.append({
             "phase": label,
             "count": len(values),
             "total_s": round(total, 4),
             "mean_ms": round(total / len(values) * 1e3, 3),
-            "share_%": round(total / wall * 100, 1) if wall else "",
+            "share_%": share,
         })
     return breakdown
 
@@ -312,8 +411,9 @@ def render_stats(rows: Sequence[Dict[str, Any]],
             title="phase breakdown",
         ))
         if any(row["phase"] == "queue wait*" for row in breakdown):
-            lines.append("* queued jobs wait concurrently; queue wait "
-                         "overlaps other phases and can exceed the wall")
+            lines.append("* queued jobs wait concurrently; total_s sums "
+                         "that overlap (and can exceed the wall), share_% "
+                         "collapses it to distinct wall-clock time")
 
     workers = worker_utilization(rows)
     if workers:

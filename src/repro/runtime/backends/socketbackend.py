@@ -5,8 +5,10 @@ The driver connects to every ``HOST:PORT`` it was given, handshakes
 shards the pending scenarios across the connected workers by content
 hash -- ``int(hash, 16) % workers`` -- so the assignment is deterministic
 for a given worker count and independent of dict/queue ordering.  One
-driver thread per worker keeps a small window of jobs in flight and
-enforces liveness:
+driver thread per worker keeps a small window of *batches* in flight --
+each ``jobs`` frame carries up to ``batch`` scenarios, unbatched and
+executed in order by the worker, answered by one ``results`` frame --
+and enforces liveness:
 
 * a worker that closes its socket (killed process, network drop) is dead
   immediately;
@@ -15,10 +17,22 @@ enforces liveness:
   dedicated reader thread even mid-execution, so a slow scenario alone
   never trips this -- tune ``job_timeout`` to the slowest expected
   scenario);
-* a worker that answers pings while a job stays outstanding past
-  ``job_timeout`` gets the job *resent* (a dropped frame on a live link
-  starves, it does not kill); :data:`~SocketBackend.MAX_RESENDS` losses
-  of the same job declare the link dead anyway.
+* a worker that answers pings while a batch stays outstanding past
+  ``job_timeout`` gets the batch *resent whole* (a dropped frame on a
+  live link starves, it does not kill -- and frames are the fault unit,
+  so a lost batch means all N jobs are owed again);
+  :data:`~SocketBackend.MAX_RESENDS` losses of the same batch declare
+  the link dead anyway.
+
+Batching amortizes the per-job serialize + dispatch + wire cost that
+made socket campaigns slower than serial; ``adaptive_window=True``
+additionally widens a link's pipeline window while the worker reports
+near-zero queue wait (the worker is starving -- send more) and halves it
+back toward the configured floor whenever the heartbeat path fires (the
+link is under pressure).  Workers started with ``--shard`` append ok
+rows to a local JSONL shard instead of shipping them back; the driver
+reconciles the shards through the store-merge machinery after the fleet
+drains (hash-keyed dedup makes re-executed duplicates harmless).
 
 The backend assumes failure is normal, not exceptional:
 
@@ -74,6 +88,7 @@ from .wire import (
     PROTOCOL_VERSION,
     FrameReceiver,
     WireError,
+    decode_results,
     parse_address,
     recv_frame,
     send_frame,
@@ -155,11 +170,21 @@ class _WorkerLink:
         self.resends = 0
         #: Handshake duration (set by ``_open_link``).
         self.connect_s = 0.0
+        #: Result shard path the worker advertised in ``welcome`` (absent
+        #: unless the worker runs with ``--shard``).
+        self.shard: Optional[str] = None
+        #: Current pipeline window in *batches* (adaptive mode moves it
+        #: between the configured floor and ``MAX_WINDOW``; only the
+        #: link's driver thread touches it).
+        self.window = 1
+        #: Batch ids for this link's ``jobs`` frames (driver-thread only).
+        self.batch_ids = itertools.count(1)
         #: Measured ping round trips, oldest first (the post-handshake
         #: calibration ping plus any heartbeat pings; GIL-atomic appends).
         self.ping_rtts: List[float] = []
-        #: Telemetry only: per-key ``(queue_s, serialize_s, sent_perf)``.
-        self.phase_meta: Dict[str, Tuple[float, float, float]] = {}
+        #: Telemetry only: per-batch ``(queue_s by key, serialize_s,
+        #: sent_perf)``.
+        self.phase_meta: Dict[int, Tuple[Dict[str, float], float, float]] = {}
 
     def enqueue(self, key: str, spec: Any) -> None:
         """Queue one job, stamped with its enqueue time (queue-wait phase)."""
@@ -266,13 +291,24 @@ class SocketBackend(Backend):
     Args:
         addresses: worker endpoints, as ``"host:port"`` strings or
             ``(host, port)`` pairs.
-        job_timeout: seconds a job may be outstanding before the worker
-            is pinged (and, if alive, the job resent).
+        job_timeout: seconds a batch may be outstanding before the worker
+            is pinged (and, if alive, the batch resent whole).
         ping_grace: seconds after a ping before the worker is declared
             dead.
         connect_timeout: handshake/connect deadline per worker.
-        window: jobs kept in flight per worker (pipelining hides the
-            request/response round trip).
+        window: batches kept in flight per worker (pipelining hides the
+            request/response round trip).  With ``adaptive_window`` this
+            is the floor the window shrinks back to.
+        batch: jobs packed into each ``jobs`` frame (1 = the unbatched
+            wire behavior; the trailing batch may run short).  Batching
+            amortizes per-job serialize/dispatch/wire overhead; the
+            fault and requeue unit stays the frame, so a lost or dying
+            batch costs all N jobs exactly once.
+        adaptive_window: widen a link's window by one batch whenever the
+            worker reports near-zero queue wait with the window full
+            (worker starving), halve it back toward ``window`` when the
+            heartbeat path fires (link under pressure).  Capped at
+            :data:`MAX_WINDOW`.
         require_all: with ``True``, fail fast if any address is still
             unreachable after the connect retries; the default tolerates
             unreachable workers as long as at least one connects (they
@@ -301,9 +337,17 @@ class SocketBackend(Backend):
     parallel = True
     distributed = True
 
-    #: Times one job may be resent to a live-but-silent worker before
+    #: Times one batch may be resent to a live-but-silent worker before
     #: the link is declared dead anyway.
     MAX_RESENDS = 3
+
+    #: Ceiling on the adaptive pipeline window (batches per link).
+    MAX_WINDOW = 64
+
+    #: Worker-side queue wait below this (first job of a batch) reads as
+    #: "the worker was starving when this batch arrived" and lets the
+    #: adaptive window widen.
+    ADAPTIVE_STARVED_S = 0.005
 
     def __init__(
         self,
@@ -312,6 +356,8 @@ class SocketBackend(Backend):
         ping_grace: float = 10.0,
         connect_timeout: float = 10.0,
         window: int = 2,
+        batch: int = 1,
+        adaptive_window: bool = False,
         require_all: bool = False,
         connect_retries: int = 2,
         backoff: float = 0.5,
@@ -331,6 +377,8 @@ class SocketBackend(Backend):
             raise ValueError("timeouts must be positive")
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         if connect_retries < 0:
             raise ValueError(f"connect_retries must be >= 0, got {connect_retries}")
         if backoff <= 0:
@@ -343,6 +391,8 @@ class SocketBackend(Backend):
         self.ping_grace = ping_grace
         self.connect_timeout = connect_timeout
         self.window = window
+        self.batch = batch
+        self.adaptive_window = adaptive_window
         self.require_all = require_all
         self.connect_retries = connect_retries
         self.backoff = backoff
@@ -356,12 +406,16 @@ class SocketBackend(Backend):
 
     # -- connection setup ---------------------------------------------
 
-    def _connect(self, address: str) -> Tuple[socket.socket, Optional[float]]:
-        """Handshake with one worker; returns the socket and a measured
-        ping round trip (the first latency sample for :meth:`summary`)."""
+    def _connect(
+        self, address: str
+    ) -> Tuple[socket.socket, Optional[float], Optional[str]]:
+        """Handshake with one worker; returns the socket, a measured
+        ping round trip (the first latency sample for :meth:`summary`),
+        and the result-shard path the worker advertised (if any)."""
         host, port = parse_address(address)
         sock = socket.create_connection((host, port), timeout=self.connect_timeout)
         rtt: Optional[float] = None
+        shard: Optional[str] = None
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             import os
@@ -381,6 +435,9 @@ class SocketBackend(Backend):
                 raise BackendError(
                     f"worker {address} spoke unexpected handshake {doc!r}"
                 )
+            advertised = doc.get("shard")
+            if isinstance(advertised, str) and advertised:
+                shard = advertised
             # Calibration ping: one measured round trip per connection, so
             # the RTT summary has a latency signal even on campaigns too
             # fast to ever trip the heartbeat path.  Nothing but a pong is
@@ -410,7 +467,7 @@ class SocketBackend(Backend):
         except BackendError:
             sock.close()
             raise
-        return sock, rtt
+        return sock, rtt, shard
 
     def _open_link(self, address: str) -> _WorkerLink:
         """Connect + handshake + (optionally) chaos-wrap one worker into a
@@ -418,7 +475,7 @@ class SocketBackend(Backend):
         ``_connect_all`` and the background reconnector."""
         telemetry = current()
         connect_start = time.perf_counter()
-        sock, rtt = self._connect(address)
+        sock, rtt, shard = self._connect(address)
         generation = next(self._generation)
         ident = f"{address}#g{generation}"
         wrapped: Any = sock
@@ -428,12 +485,15 @@ class SocketBackend(Backend):
             wrapped = self.chaos.wrap(sock, label=f"driver->{ident}")
         link = _WorkerLink(address, wrapped, ident=ident)
         link.connect_s = time.perf_counter() - connect_start
+        link.shard = shard
+        link.window = self.window
         if rtt is not None:
             link.ping_rtts.append(rtt)
         telemetry.event(
             "socket.connect", worker=address, ident=ident,
             dur_s=round(link.connect_s, 6),
             rtt_s=round(rtt, 6) if rtt is not None else None,
+            shard=shard,
         )
         return link
 
@@ -515,6 +575,7 @@ class SocketBackend(Backend):
             "resends": 0,
             "probed": 0,
             "quarantined": 0,
+            "sharded": 0,
             "degraded": False,
             "per_worker": {},
             "ping_rtt_s": [],
@@ -553,6 +614,9 @@ class SocketBackend(Backend):
         probing: Set[str] = set()
         #: Salvaged jobs with no live link to run them (await rejoin/degrade).
         unassigned: Dict[str, Job] = {}
+        #: Keys acknowledged as sharded (row durable in a worker-local
+        #: shard, reconciled after the fleet drains): key -> shard path.
+        sharded_keys: Dict[str, str] = {}
         live: List[_WorkerLink] = list(links)
         all_links: List[_WorkerLink] = list(links)
         degrade_deadline: Optional[float] = None
@@ -618,6 +682,18 @@ class SocketBackend(Backend):
                     remaining.discard(key)
                     link.completed += 1
                     yield key, ok, row
+
+                elif kind == "sharded":
+                    # The worker durably appended this row to its shard
+                    # before acknowledging; the row itself is read back in
+                    # one reconciliation pass once the fleet drains.
+                    key, shard_path = payload
+                    if key not in remaining or key in probing:
+                        stats["duplicates"] += 1
+                        continue
+                    remaining.discard(key)
+                    link.completed += 1
+                    sharded_keys[key] = shard_path
 
                 elif kind == "dead":
                     live = [peer for peer in live if peer is not link]
@@ -706,6 +782,10 @@ class SocketBackend(Backend):
                         ok, row = outcome
                         remaining.discard(key)
                         yield key, ok, row
+            if sharded_keys:
+                yield from self._reconcile_shards(
+                    sharded_keys, jobs_by_key, stats, telemetry
+                )
         finally:
             if reconnector is not None:
                 reconnector.stop()
@@ -743,6 +823,58 @@ class SocketBackend(Backend):
                 rtt for link in all_links for rtt in link.ping_rtts
             ]
 
+    def _reconcile_shards(
+        self,
+        sharded_keys: Dict[str, str],
+        jobs_by_key: Dict[str, Job],
+        stats: Dict[str, Any],
+        telemetry: Telemetry,
+    ) -> Iterator[JobResult]:
+        """Read acknowledged-but-row-less results back out of worker shards.
+
+        This is the store-merge path in miniature: each shard is an
+        ordinary :class:`~repro.runtime.store.ResultStore` file, loaded
+        with the same torn-tail-tolerant parser, keyed by scenario hash.
+        Rows are yielded in the campaign's usual ``(key, ok, row)`` shape
+        so the runner cannot tell a sharded row from a wire row.  A key
+        the shard cannot produce (unreadable file, torn row -- e.g. the
+        worker host died after acking but the shard lives on NFS that
+        vanished with it) falls back to local execution: the campaign
+        still completes with a correct row, because rows are pure
+        functions of their specs.
+        """
+        from ..store import ResultStore
+
+        by_shard: Dict[str, List[str]] = {}
+        for key, shard_path in sharded_keys.items():
+            by_shard.setdefault(shard_path, []).append(key)
+        for shard_path in sorted(by_shard):
+            keys = by_shard[shard_path]
+            missing: List[str] = []
+            try:
+                shard = ResultStore(shard_path)
+            except OSError as exc:
+                _log.warning(kv("shard-unreadable", shard=shard_path,
+                                keys=len(keys), error=str(exc)))
+                shard = None
+            for key in sorted(keys):
+                row = shard.get(key) if shard is not None else None
+                if row is None:
+                    missing.append(key)
+                    continue
+                stats["sharded"] += 1
+                yield key, True, row
+            telemetry.event(
+                "socket.shard_merge", shard=shard_path, rows=len(keys) - len(missing),
+                missing=len(missing),
+            )
+            _log.info(kv("shard-merge", shard=shard_path,
+                         rows=len(keys) - len(missing), missing=len(missing)))
+            for key in missing:
+                # Acked but unreadable: re-execute locally rather than
+                # losing the row (pure-function rows keep this identical).
+                yield execute_job(jobs_by_key[key])
+
     def summary(self) -> str:
         stats = self.last_stats
         if not stats:
@@ -761,6 +893,8 @@ class SocketBackend(Backend):
             parts.append(f"{stats['resends']} job resend(s)")
         if stats["quarantined"]:
             parts.append(f"{stats['quarantined']} scenario(s) quarantined")
+        if stats.get("sharded"):
+            parts.append(f"{stats['sharded']} row(s) via worker shards")
         if stats["degraded"]:
             parts.append("degraded to local isolated execution")
         if stats["duplicates"]:
@@ -794,8 +928,8 @@ class SocketBackend(Backend):
     ) -> None:
         telemetry = current()
         occupancy = _Occupancy() if telemetry.enabled else None
-        #: key -> mutable ``[job, sent_at_perf, resend_count]``.
-        inflight: Dict[str, List[Any]] = {}
+        #: batch id -> mutable ``[jobs, sent_at_perf, resend_count]``.
+        inflight: Dict[int, List[Any]] = {}
         try:
             while True:
                 self._fill_window(link, inflight, telemetry, occupancy)
@@ -803,111 +937,196 @@ class SocketBackend(Backend):
                     self._farewell(link)
                     return
                 doc = self._await_frame(link, inflight)
-                if doc["type"] == "result":
-                    key = doc.get("key")
-                    entry = inflight.pop(key, None)
-                    if entry is not None:
-                        if occupancy is not None:
-                            occupancy.change(-1)
-                            self._record_job(telemetry, link, key, doc)
-                        events.put((
-                            "result", link,
-                            (key, bool(doc.get("ok")), doc.get("row") or {}),
-                        ))
+                if doc["type"] == "results":
+                    entry = inflight.pop(doc.get("batch"), None)
+                    if entry is None:
+                        # Duplicate answer to a batch we resent and have
+                        # since settled; the main loop dedups keys anyway.
+                        continue
+                    batch_jobs: List[Job] = entry[0]
+                    # All-or-nothing: a malformed results frame refuses
+                    # the batch whole (WireError -> dead link -> requeue).
+                    results = decode_results(doc)
+                    if occupancy is not None:
+                        occupancy.change(-len(batch_jobs))
+                        self._record_batch(telemetry, link, doc, results)
+                    link.phase_meta.pop(doc.get("batch"), None)
+                    answered: Set[str] = set()
+                    for res in results:
+                        key = res["key"]
+                        answered.add(key)
+                        if res.get("sharded") and link.shard is not None:
+                            events.put(("sharded", link, (key, link.shard)))
+                        elif res.get("sharded"):
+                            # Acked into a shard the worker never told us
+                            # about: treat as unanswered (requeued below).
+                            answered.discard(key)
+                        else:
+                            events.put((
+                                "result", link,
+                                (key, bool(res.get("ok")),
+                                 res.get("row") or {}),
+                            ))
+                    for job in batch_jobs:
+                        if job[0] not in answered:
+                            # The worker answered the batch but skipped a
+                            # job; requeue it rather than strand the key.
+                            link.enqueue(job[0], job[1])
+                    if self.adaptive_window:
+                        self._adapt_window(link, results, telemetry)
                 # pongs and unknown types just prove liveness
         except Exception:  # noqa: BLE001 - any escape means this link is
             # done; anything short of reporting it dead would leave its
             # in-flight scenarios unresolved and submit() blocked forever.
-            inflight_jobs = [entry[0] for entry in inflight.values()]
+            inflight_jobs = [
+                job for entry in inflight.values() for job in entry[0]
+            ]
             events.put(("dead", link, (inflight_jobs, link.drain_jobs())))
         finally:
             if occupancy is not None:
                 telemetry.event("socket.worker", worker=link.address,
                                 connect_s=round(link.connect_s, 6),
+                                window=link.window,
                                 **occupancy.summary())
 
-    def _record_job(self, telemetry: Telemetry, link: _WorkerLink,
-                    key: str, doc: Dict[str, Any]) -> None:
-        """One wide ``job`` event decomposing this result into phases.
+    def _record_batch(self, telemetry: Telemetry, link: _WorkerLink,
+                      doc: Dict[str, Any], results: List[Dict[str, Any]],
+                      ) -> None:
+        """One wide ``job`` event per batch entry, decomposed into phases.
 
-        Driver-side phases come from the link's stamp dict (queue wait,
-        serialize, in-flight); worker-side phases arrive in the result
-        frame's ``timing`` sidecar (deserialize, worker queue, execute,
-        cache stats).  ``inflight_s - deser_s - worker_queue_s - exec_s``
-        is the wire + framing overhead -- the number that quantifies the
-        backend's <1x speedup.
+        Driver-side phases come from the link's per-batch stamp (queue
+        wait per key, one serialize amortized across the batch,
+        in-flight per batch); worker-side phases arrive per entry in the
+        ``results`` frame's ``timing`` sidecars (deserialize, worker
+        queue, execute, cache stats).  The wire + framing overhead is
+        computed here at batch granularity -- flight time minus the
+        worker's busy span (the last entry's ``queue_s + deser_s +
+        exec_s``, which covers the batch's in-order execution measured
+        from arrival) -- and amortized per job as ``wire_s``: the number
+        batching exists to shrink.
         """
-        timing = doc.get("timing") or {}
-        attrs: Dict[str, Any] = {
-            "key": key[:12],
-            "backend": self.name,
-            "worker": link.address,
-            "ok": bool(doc.get("ok")),
-            "worker_queue_s": timing.get("queue_s"),
-            "deser_s": timing.get("deser_s"),
-            "exec_s": timing.get("exec_s"),
-            "perf": timing.get("perf"),
-        }
-        meta = link.phase_meta.pop(key, None)
+        meta = link.phase_meta.pop(doc.get("batch"), None)
+        now = time.perf_counter()
+        n = max(len(results), 1)
+        queue_by_key: Dict[str, float] = {}
+        serialize_s: Optional[float] = None
+        inflight_s: Optional[float] = None
         if meta is not None:
-            queue_s, serialize_s, sent_perf = meta
-            attrs["queue_s"] = round(queue_s, 6)
-            attrs["serialize_s"] = round(serialize_s, 6)
-            attrs["inflight_s"] = round(time.perf_counter() - sent_perf, 6)
-        telemetry.event("job", **attrs)
+            queue_by_key, serialize_s, sent_perf = meta
+            inflight_s = now - sent_perf
+        wire_s: Optional[float] = None
+        if inflight_s is not None:
+            last = results[-1].get("timing") or {}
+            busy = sum(
+                last.get(field) or 0.0
+                for field in ("queue_s", "deser_s", "exec_s")
+            )
+            wire_s = max(inflight_s - busy, 0.0) / n
+        for res in results:
+            key = res["key"]
+            timing = res.get("timing") or {}
+            attrs: Dict[str, Any] = {
+                "key": key[:12],
+                "backend": self.name,
+                "worker": link.address,
+                "ok": bool(res.get("ok")),
+                "batch_n": n,
+                "worker_queue_s": timing.get("queue_s"),
+                "deser_s": timing.get("deser_s"),
+                "exec_s": timing.get("exec_s"),
+                "perf": timing.get("perf"),
+            }
+            if key in queue_by_key:
+                attrs["queue_s"] = round(queue_by_key[key], 6)
+            if serialize_s is not None:
+                attrs["serialize_s"] = round(serialize_s / n, 6)
+            if inflight_s is not None:
+                attrs["inflight_s"] = round(inflight_s, 6)
+            if wire_s is not None:
+                attrs["wire_s"] = round(wire_s, 6)
+            telemetry.event("job", **attrs)
+
+    def _jobs_frame(self, batch_id: int, jobs: List[Job],
+                    want_telemetry: bool) -> Dict[str, Any]:
+        """Build one ``jobs`` frame (shared by first send and resends,
+        so a resent batch is byte-for-byte the same work order)."""
+        frame: Dict[str, Any] = {
+            "type": "jobs",
+            "batch": batch_id,
+            "jobs": [{"key": key, "spec": spec.to_dict()}
+                     for key, spec in jobs],
+            "sent_at": time.time(),
+        }
+        if want_telemetry:
+            frame["telemetry"] = True
+        return frame
 
     def _fill_window(
         self,
         link: _WorkerLink,
-        inflight: Dict[str, List[Any]],
+        inflight: Dict[int, List[Any]],
         telemetry: Telemetry,
         occupancy: Optional[_Occupancy],
     ) -> None:
-        """Top up the in-flight window; block only when truly idle."""
-        while not link.finishing and len(inflight) < self.window:
-            try:
-                item = link.jobs.get(block=not inflight)
-            except queue.Empty:
+        """Top up the in-flight window with batches; block only when idle.
+
+        Each iteration gathers up to ``self.batch`` queued jobs into one
+        ``jobs`` frame -- blocking only when nothing at all is in flight
+        or gathered, so a slow producer degrades to smaller batches
+        instead of stalling the pipeline -- and sends it as one frame
+        (one fault-injection unit: a dropped frame loses, and later
+        requeues, the whole batch).
+        """
+        while not link.finishing and len(inflight) < link.window:
+            gathered: List[Any] = []
+            while len(gathered) < self.batch:
+                try:
+                    item = link.jobs.get(
+                        block=not inflight and not gathered
+                    )
+                except queue.Empty:
+                    break
+                if item is _DONE:
+                    link.finishing = True
+                    break
+                gathered.append(item)
+            if not gathered:
                 return
-            if item is _DONE:
-                link.finishing = True
-                return
-            key, spec, enqueued_at = item
+            jobs: List[Job] = [(key, spec) for key, spec, _ in gathered]
             if occupancy is not None:
-                occupancy.change(+1)
+                occupancy.change(+len(jobs))
+            batch_id = next(link.batch_ids)
             serialize_start = time.perf_counter()
-            frame = {
-                "type": "job", "key": key, "spec": spec.to_dict(),
-                "sent_at": time.time(),
-            }
-            if telemetry.enabled:
-                frame["telemetry"] = True
+            frame = self._jobs_frame(batch_id, jobs, telemetry.enabled)
             try:
                 send_frame(link.sock, frame)
             except OSError as exc:
                 # Count it as lost in-flight work for the death report.
-                inflight[key] = [(key, spec), time.perf_counter(), 0]
+                inflight[batch_id] = [jobs, time.perf_counter(), 0]
                 raise _WorkerDied(str(exc)) from exc
             if telemetry.enabled:
                 sent_perf = time.perf_counter()
-                link.phase_meta[key] = (
-                    serialize_start - enqueued_at,
+                link.phase_meta[batch_id] = (
+                    {key: serialize_start - enqueued_at
+                     for key, _, enqueued_at in gathered},
                     sent_perf - serialize_start,
                     sent_perf,
                 )
-            inflight[key] = [(key, spec), time.perf_counter(), 0]
+            inflight[batch_id] = [jobs, time.perf_counter(), 0]
 
     def _await_frame(self, link: _WorkerLink,
-                     inflight: Dict[str, List[Any]]) -> Dict[str, Any]:
+                     inflight: Dict[int, List[Any]]) -> Dict[str, Any]:
         """One frame from the worker, with ping-based liveness checking.
 
         Reads go through the link's :class:`FrameReceiver
         <repro.runtime.backends.wire.FrameReceiver>`, so a timeout that
         lands mid-frame keeps the partial bytes buffered -- the follow-up
         read after the ping resumes the same frame instead of desyncing.
-        A worker that answers the ping but has starved a job past
-        ``job_timeout`` gets the job resent: connection-level liveness
-        cannot see a dropped frame, only per-job accounting can.
+        A worker that answers the ping but has starved a batch past
+        ``job_timeout`` gets the batch resent: connection-level liveness
+        cannot see a dropped frame, only per-batch accounting can.  In
+        adaptive mode the heartbeat firing at all is the pressure signal
+        that halves the window back toward its floor.
         """
         link.sock.settimeout(self.job_timeout)
         try:
@@ -915,6 +1134,10 @@ class SocketBackend(Backend):
         except socket.timeout:
             doc = self._ping(link)
             if doc is not None:
+                if self.adaptive_window and link.window > self.window:
+                    link.window = max(self.window, link.window // 2)
+                    current().event("socket.window", worker=link.address,
+                                    window=link.window, reason="pressure")
                 self._resend_stale(link, inflight)
         except (WireError, OSError) as exc:
             raise _WorkerDied(str(exc)) from exc
@@ -922,32 +1145,49 @@ class SocketBackend(Backend):
             raise _WorkerDied("connection closed")
         return doc
 
-    def _resend_stale(self, link: _WorkerLink,
-                      inflight: Dict[str, List[Any]]) -> None:
-        """Resend jobs outstanding past ``job_timeout`` on a live link.
+    def _adapt_window(self, link: _WorkerLink,
+                      results: List[Dict[str, Any]],
+                      telemetry: Telemetry) -> None:
+        """Widen the pipeline window while the worker is starving.
 
-        The worker just proved liveness, so a stale job means its frame
-        (or its result) was lost in transit -- resend it; duplicate
-        results are deduplicated by key.  A job lost
-        :data:`MAX_RESENDS` times gives up on the link instead.
+        The first entry of a batch reports ``queue_s`` measured from the
+        batch's arrival to its first execution -- near zero means the
+        worker's inbound queue was empty when this batch landed, i.e.
+        the worker finished everything before the driver refilled it.
+        Widen only when more work is actually queued (an empty local
+        queue makes a wider window meaningless) and below the cap.
+        """
+        first = (results[0].get("timing") or {}).get("queue_s")
+        if first is None or first > self.ADAPTIVE_STARVED_S:
+            return
+        if link.window < self.MAX_WINDOW and not link.jobs.empty():
+            link.window += 1
+            telemetry.event("socket.window", worker=link.address,
+                            window=link.window, reason="starved")
+
+    def _resend_stale(self, link: _WorkerLink,
+                      inflight: Dict[int, List[Any]]) -> None:
+        """Resend batches outstanding past ``job_timeout`` on a live link.
+
+        The worker just proved liveness, so a stale batch means its
+        ``jobs`` frame (or its ``results`` answer) was lost in transit --
+        resend the batch whole under its original id; duplicate results
+        are deduplicated by batch id here and by key in the main loop.
+        A batch lost :data:`MAX_RESENDS` times gives up on the link
+        instead.
         """
         telemetry = current()
         now = time.perf_counter()
-        for key, entry in inflight.items():
-            job, sent_at, resends = entry
+        for batch_id, entry in inflight.items():
+            jobs, sent_at, resends = entry
             if now - sent_at < self.job_timeout:
                 continue
             if resends >= self.MAX_RESENDS:
                 raise _WorkerDied(
-                    f"job {key[:12]} still outstanding after "
-                    f"{resends} resend(s)"
+                    f"batch {batch_id} ({len(jobs)} job(s)) still "
+                    f"outstanding after {resends} resend(s)"
                 )
-            frame = {
-                "type": "job", "key": key, "spec": job[1].to_dict(),
-                "sent_at": time.time(),
-            }
-            if telemetry.enabled:
-                frame["telemetry"] = True
+            frame = self._jobs_frame(batch_id, jobs, telemetry.enabled)
             try:
                 send_frame(link.sock, frame)
             except OSError as exc:
@@ -955,10 +1195,11 @@ class SocketBackend(Backend):
             entry[1] = time.perf_counter()
             entry[2] = resends + 1
             link.resends += 1
-            _log.warning(kv("resend", worker=link.address, key=key[:12],
-                            attempt=resends + 1))
+            _log.warning(kv("resend", worker=link.address, batch=batch_id,
+                            jobs=len(jobs), attempt=resends + 1))
             telemetry.event("socket.resend", worker=link.address,
-                            key=key[:12], attempt=resends + 1)
+                            batch=batch_id, jobs=len(jobs),
+                            attempt=resends + 1)
 
     def _ping(self, link: _WorkerLink) -> Optional[Dict[str, Any]]:
         try:

@@ -9,8 +9,8 @@ in-flight byte corruption (a fault-injection ``corrupt``, a broken
 middlebox) into a loud :class:`WireError` instead of a silently wrong
 result row -- campaign rows must be a pure function of scenario content,
 so a frame that cannot prove its integrity is refused, never parsed.
-Frames are small (a scenario spec or one result row), so the cap below
-is generous.
+Frames are modest (a batch of scenario specs or result rows), so the cap
+below is generous.
 
 Message vocabulary (the ``type`` field):
 
@@ -18,18 +18,32 @@ Message vocabulary (the ``type`` field):
 type         direction  meaning
 ===========  =========  ===================================================
 ``hello``    driver →   handshake: ``protocol`` version, driver pid
-``welcome``  → driver   handshake accepted: ``protocol`` version, worker pid
+``welcome``  → driver   handshake accepted: ``protocol`` version, worker
+                        pid + optional ``shard`` path the worker appends
+                        result rows to (see worker ``--shard``)
 ``error``    → driver   handshake refused (e.g. version skew); body says why
-``job``      driver →   ``key`` (scenario hash) + ``spec`` (canonical dict)
-                        + ``sent_at`` (driver wall clock, diagnostic) +
-                        optional ``telemetry`` flag requesting cache stats
-``result``   → driver   ``key``, ``ok``, ``row`` (see ``execute_job``) +
-                        ``timing`` sidecar (``queue_s``, ``exec_s``, and
-                        ``perf`` cache stats when the job asked for them)
-``ping``     driver →   liveness probe while a job is outstanding
+``jobs``     driver →   ``batch`` (driver-scoped id) + ``jobs``, a list of
+                        ``{"key", "spec"}`` entries (scenario hash +
+                        canonical dict) + ``sent_at`` (driver wall clock,
+                        diagnostic) + optional ``telemetry`` flag
+                        requesting cache stats
+``results``  → driver   ``batch`` (echoing the ``jobs`` id) + ``results``,
+                        a list of ``{"key", "ok", "row", "timing"}``
+                        entries -- one per job, same order; ``timing`` is
+                        the sidecar (``queue_s``, ``deser_s``, ``exec_s``,
+                        and ``perf`` cache stats when requested).  When
+                        the worker shards, an ok entry carries
+                        ``"sharded": true`` and omits ``row``.
+``ping``     driver →   liveness probe while a batch is outstanding
 ``pong``     → driver   liveness answer (sent even mid-execution)
 ``bye``      driver →   orderly end of session; worker closes the socket
 ===========  =========  ===================================================
+
+A batch frame is all-or-nothing end to end: framing makes it one
+``sendall`` (so one fault-injection point -- a dropped ``jobs`` frame
+requeues all N jobs), the CRC refuses a corrupted batch whole, and
+:func:`decode_jobs` / :func:`decode_results` refuse a structurally
+malformed batch whole -- a peer never sees half a batch.
 
 Timestamps in frames are *diagnostic*: ``sent_at`` is driver wall clock
 (clocks across hosts are not comparable), while the ``timing`` sidecar
@@ -62,7 +76,12 @@ from typing import Any, Dict, Optional
 #: v4: the frame header grew a CRC32 of the body -- a v3 peer's 4-byte
 #: headers would be misparsed as half of an 8-byte one, so the formats
 #: cannot coexist on one stream and the skew is refused at handshake.
-PROTOCOL_VERSION = 4
+#: v5: ``job``/``result`` frames became batched ``jobs``/``results``
+#: frames (N entries per frame, N=1 when unbatched) and ``welcome`` may
+#: advertise a result shard -- a v4 worker would ignore ``jobs`` frames
+#: and never answer, hanging the driver until ``job_timeout``, so the
+#: skew is refused at handshake.
+PROTOCOL_VERSION = 5
 
 #: Frame header: 4-byte body length + 4-byte CRC32 of the body, both
 #: unsigned big-endian.
@@ -198,6 +217,48 @@ def _recv_exact(
         chunks.append(chunk)
         got += len(chunk)
     return b"".join(chunks)
+
+
+def decode_jobs(doc: Dict[str, Any]) -> list:
+    """Validate a ``jobs`` frame; return its entry list.
+
+    Refuses the batch whole: a single malformed entry (missing ``key``,
+    non-dict ``spec``, empty batch) is a :class:`WireError`, never a
+    partially accepted batch -- the driver's requeue logic assumes a
+    batch either executes entirely or not at all.
+    """
+    entries = doc.get("jobs")
+    if not isinstance(entries, list) or not entries:
+        raise WireError("jobs frame carries no job list")
+    for entry in entries:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("key"), str)
+            or not isinstance(entry.get("spec"), dict)
+        ):
+            raise WireError("jobs frame entry is not {key, spec}")
+    return entries
+
+
+def decode_results(doc: Dict[str, Any]) -> list:
+    """Validate a ``results`` frame; return its entry list.
+
+    Same all-or-nothing contract as :func:`decode_jobs`: one bad entry
+    refuses the whole frame, so the driver never records half a batch.
+    """
+    entries = doc.get("results")
+    if not isinstance(entries, list) or not entries:
+        raise WireError("results frame carries no result list")
+    for entry in entries:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("key"), str)
+            or not isinstance(entry.get("ok"), bool)
+        ):
+            raise WireError("results frame entry is not {key, ok, ...}")
+        if not entry.get("sharded") and not isinstance(entry.get("row"), dict):
+            raise WireError("results frame entry has no row and no shard")
+    return entries
 
 
 def parse_address(text: str) -> tuple:

@@ -9,13 +9,24 @@ Each accepted connection gets two threads:
 
 * a *reader* that owns ``recv`` -- it answers ``ping`` frames immediately
   (even while a scenario is executing, which is what makes the driver's
-  heartbeat meaningful) and feeds ``job`` frames to
-* an *executor* that runs scenarios one at a time and streams ``result``
-  frames back under a send lock.
+  heartbeat meaningful) and feeds ``jobs`` batch frames to
+* an *executor* that unbatches each frame, runs its scenarios strictly
+  in order, and answers with one ``results`` frame per batch under a
+  send lock.
+
+Result shards: ``--shard PATH`` makes the worker append every ok row to
+a local JSONL shard (same line format as :class:`~repro.runtime.store.
+ResultStore`, advertised to the driver in the ``welcome`` frame) and
+send back row-less ``{"sharded": true}`` result entries.  The driver
+reconciles shards through the store-merge path at the end of the
+campaign; ``schema: 1`` rows plus hash-keyed dedup make re-executed
+duplicates harmless.  Shards assume driver and worker share a
+filesystem; each worker needs its own shard path.
 
 Failure injection: ``die_after_jobs=N`` makes the worker drop the
-connection -- and stop serving -- immediately after accepting its
-``N+1``-th job, without replying.  Tests and the CI ``backend-smoke`` job
+connection -- and stop serving -- the moment an accepted batch would
+carry it past ``N`` jobs, without replying (so the driver requeues the
+whole batch).  Tests and the CI ``backend-smoke`` job
 use it to prove that campaigns survive a worker dying mid-run.  For
 probabilistic faults, ``chaos=ChaosPolicy(...)`` (CLI ``--chaos SPEC``)
 wraps each accepted connection in a :class:`~repro.runtime.backends.chaos.
@@ -36,7 +47,13 @@ from ...obs.logsetup import configure_logging, kv
 from ..scenario import ScenarioSpec
 from .base import execute_job, timed_execute_job
 from .chaos import ChaosPolicy, ChaosSocket
-from .wire import PROTOCOL_VERSION, WireError, recv_frame, send_frame
+from .wire import (
+    PROTOCOL_VERSION,
+    WireError,
+    decode_jobs,
+    recv_frame,
+    send_frame,
+)
 
 #: Structured worker log: accept/handshake/disconnect/die events as
 #: ``event key=value`` lines (see :mod:`repro.obs.logsetup`).  Stdout
@@ -52,9 +69,14 @@ class WorkerServer:
         host: interface to bind (default loopback).
         port: port to bind; ``0`` picks a free port (see :attr:`port`).
         die_after_jobs: failure injection -- accept this many jobs, then
-            drop dead (``None`` disables).
+            drop dead (``None`` disables).  Counted per job, not per
+            frame: a batch that would cross the limit dies unanswered.
         chaos: optional :class:`ChaosPolicy` applied to every accepted
             connection's outbound frames (armed post-handshake).
+        shard: optional path of a local JSONL result shard; ok rows are
+            appended there (and advertised in ``welcome``) instead of
+            riding the ``results`` frame.  Error rows always ride the
+            wire -- shards hold only storable rows.
         log: optional ``print``-like callable for one-line status output.
     """
 
@@ -69,12 +91,14 @@ class WorkerServer:
         port: int = 0,
         die_after_jobs: Optional[int] = None,
         chaos: Optional[ChaosPolicy] = None,
+        shard: Optional[str] = None,
         log: Optional[Any] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.die_after_jobs = die_after_jobs
         self.chaos = chaos
+        self.shard_path = shard
         self.log = log or (lambda *_: None)
         self.jobs_done = 0
         self.sessions = 0
@@ -83,12 +107,21 @@ class WorkerServer:
         self._accept_thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self._lock = threading.Lock()
+        self._shard = None  # ResultStore, opened in start()
+        self._shard_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> Tuple[str, int]:
         """Bind, listen, and accept in a background thread (for tests and
         embedded use); returns the bound ``(host, port)``."""
+        if self.shard_path is not None and self._shard is None:
+            # Open before listening: a bad shard path must refuse the
+            # worker at start, not lose rows mid-campaign.
+            from ..store import ResultStore
+
+            self._shard = ResultStore.open_shard(self.shard_path)
+            self.shard_path = str(self._shard.path)
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self.port))
@@ -106,6 +139,7 @@ class WorkerServer:
         _log.info(kv("serving", host=self.host, port=self.port,
                      protocol=PROTOCOL_VERSION,
                      die_after_jobs=self.die_after_jobs,
+                     shard=self.shard_path,
                      chaos=self.chaos.describe() if self.chaos else None))
         return self.host, self.port
 
@@ -124,6 +158,10 @@ class WorkerServer:
                 listener.close()
             except OSError:
                 pass
+        shard, self._shard = self._shard, None
+        if shard is not None:
+            with self._shard_lock:
+                shard.close()
 
     @property
     def address(self) -> str:
@@ -206,8 +244,11 @@ class WorkerServer:
                 if doc["type"] == "ping":
                     with send_lock:
                         send_frame(conn, {"type": "pong"})
-                elif doc["type"] == "job":
-                    if self._should_die():
+                elif doc["type"] == "jobs":
+                    # All-or-nothing: a malformed batch is a WireError
+                    # that drops the session before any entry executes.
+                    entries = decode_jobs(doc)
+                    if self._should_die(len(entries)):
                         self.log(f"worker {self.address}: injected death")
                         _log.warning(kv("die-after-jobs", peer=peer_name,
                                         jobs_seen=self._jobs_seen,
@@ -215,9 +256,9 @@ class WorkerServer:
                         self.stop()
                         return  # finally: abrupt close, no reply
                     # Arrival stamp: the executor subtracts it to report
-                    # worker-side queue wait in the result's timing sidecar.
+                    # worker-side queue wait in each timing sidecar.
                     doc["_recv_perf"] = time.perf_counter()
-                    session_jobs += 1
+                    session_jobs += len(entries)
                     jobs.put(doc)
                 # unknown types are ignored (forward compatibility)
         except (WireError, OSError):
@@ -259,17 +300,23 @@ class WorkerServer:
                 "type": "welcome",
                 "protocol": PROTOCOL_VERSION,
                 "worker_pid": os.getpid(),
+                # Advertised so the driver knows where to reconcile
+                # row-less {"sharded": true} result entries from.
+                "shard": self.shard_path,
             })
         _log.info(kv("handshake", peer=peer_name,
                      driver_pid=doc.get("driver_pid"),
                      protocol=PROTOCOL_VERSION))
         return True
 
-    def _should_die(self) -> bool:
+    def _should_die(self, batch_size: int = 1) -> bool:
         if self.die_after_jobs is None:
             return False
         with self._lock:
-            self._jobs_seen += 1
+            # Per-job accounting: a batch that would carry the worker
+            # past the limit dies whole -- the driver sees one dead
+            # connection and requeues all N, never a half-answered batch.
+            self._jobs_seen += batch_size
             return self._jobs_seen > self.die_after_jobs
 
     def _execute_loop(
@@ -282,37 +329,58 @@ class WorkerServer:
             doc = jobs.get()
             if doc is None:
                 return
-            started = time.perf_counter()
-            received = doc.pop("_recv_perf", started)
-            key, ok, row, timing = self._run_job(doc)
-            timing["queue_s"] = round(started - received, 6)
-            self.jobs_done += 1
+            received = doc.pop("_recv_perf", time.perf_counter())
+            telemetry = bool(doc.get("telemetry"))
+            results = []
+            for entry in doc["jobs"]:
+                # Strictly in order: a job late in the batch reports the
+                # wait behind its batch-mates as worker-side queue_s, and
+                # a poison job kills the process at its position leaving
+                # the whole batch unanswered (driver requeues all N).
+                started = time.perf_counter()
+                key, ok, row, timing = self._run_job(entry, telemetry)
+                timing["queue_s"] = round(started - received, 6)
+                self.jobs_done += 1
+                result: Dict[str, Any] = {"key": key, "ok": ok,
+                                          "timing": timing}
+                if ok and self._shard is not None:
+                    # Durable before acknowledged: the row hits the shard
+                    # (synced append) before the driver can ever see the
+                    # row-less entry that points at it.
+                    with self._shard_lock:
+                        self._shard.put(key, row)
+                    result["sharded"] = True
+                else:
+                    # Error rows always ride the wire; shards hold only
+                    # storable rows.
+                    result["row"] = row
+                results.append(result)
             try:
                 with send_lock:
                     send_frame(
                         conn,
-                        {"type": "result", "key": key, "ok": ok, "row": row,
-                         "timing": timing},
+                        {"type": "results", "batch": doc.get("batch"),
+                         "results": results},
                     )
             except OSError:
                 return  # driver went away; nothing to report to
 
     def _run_job(
-        self, doc: Dict[str, Any]
+        self, entry: Dict[str, Any], telemetry: bool
     ) -> Tuple[str, bool, Dict[str, Any], Dict[str, Any]]:
-        """Rebuild the spec, cross-check its content hash, execute.
+        """Rebuild one batch entry's spec, cross-check its hash, execute.
 
-        Returns the result triple plus the timing sidecar for the v3
-        ``result`` frame: ``deser_s`` (spec rebuild + hash check) and
-        ``exec_s`` always, ``perf`` cache stats when the job frame
-        carried the ``telemetry`` flag.  The sidecar never touches the
-        row itself.
+        Returns the result triple plus the timing sidecar for its slot
+        in the ``results`` frame: ``deser_s`` (spec rebuild + hash
+        check) and ``exec_s`` always, ``perf`` cache stats when the
+        batch carried the ``telemetry`` flag.  The sidecar never touches
+        the row itself.
         """
-        key = doc.get("key")
+        key = entry.get("key")
         timing: Dict[str, Any] = {}
         deser_start = time.perf_counter()
         try:
-            spec = ScenarioSpec.from_dict(doc["spec"])
+            spec = ScenarioSpec.from_dict(entry["spec"])
         except Exception as exc:  # noqa: BLE001 - reported to the driver
             return (key, False,
                     {"error": f"bad spec: {type(exc).__name__}: {exc}"},
@@ -325,7 +393,7 @@ class WorkerServer:
                 "error": f"hash mismatch: driver sent {key[:12]}..., spec "
                          f"hashes to {spec.scenario_hash()[:12]}...",
             }, timing
-        if doc.get("telemetry"):
+        if telemetry:
             key, ok, row, timed = timed_execute_job((key, spec))
             timing["exec_s"] = round(timed["exec_s"], 6)
             if timed.get("perf") is not None:
@@ -339,7 +407,8 @@ class WorkerServer:
 
 def serve(address: str, die_after_jobs: Optional[int] = None,
           log_level: str = "info",
-          chaos: Optional[ChaosPolicy] = None) -> int:
+          chaos: Optional[ChaosPolicy] = None,
+          shard: Optional[str] = None) -> int:
     """CLI entry: serve on ``HOST:PORT`` until interrupted (or dead).
 
     Structured log lines (accept/handshake/disconnect/die-after-jobs) go
@@ -352,7 +421,7 @@ def serve(address: str, die_after_jobs: Optional[int] = None,
     host, port = parse_address(address)
     server = WorkerServer(host=host, port=port,
                           die_after_jobs=die_after_jobs, chaos=chaos,
-                          log=_log_flush)
+                          shard=shard, log=_log_flush)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

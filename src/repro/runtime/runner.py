@@ -51,6 +51,10 @@ class CampaignStats:
     #: (structured rows carrying a ``quarantine`` block; see
     #: :func:`repro.runtime.backends.base.quarantine_row`).
     quarantined: int = 0
+    #: Subset of ``executed`` whose rows arrived through worker-side
+    #: result shards (reconciled via the store-merge path) rather than
+    #: the wire; 0 on non-sharding backends.
+    sharded: int = 0
 
 
 @dataclass
@@ -189,6 +193,9 @@ class CampaignRunner:
                         stats.failed += 1
                         if "quarantine" in row:
                             stats.quarantined += 1
+                backend_stats = getattr(backend, "last_stats", None)
+                if isinstance(backend_stats, dict):
+                    stats.sharded = int(backend_stats.get("sharded", 0))
                 if self.store is not None:
                     with telemetry.span("store.sync"):
                         self.store.sync()
@@ -204,6 +211,7 @@ class CampaignRunner:
                         failed=stats.failed,
                         deduplicated=stats.deduplicated,
                         quarantined=stats.quarantined,
+                        sharded=stats.sharded,
                         backend=backend.name)
 
         rows = [results[key] for key, _ in keyed]

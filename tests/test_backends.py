@@ -245,27 +245,9 @@ class TestSpecWireRoundTrip:
 
 
 class TestBackendEquivalence:
-    """ISSUE acceptance: one grid, three backends, identical bytes."""
-
-    def test_serial_pool_socket_byte_identical(self, worker_pair):
-        specs = GRID_30.expand()
-        assert len(specs) == 30
-        serial = run_campaign(specs, backend=SerialBackend())
-        pool = run_campaign(specs, backend=PoolBackend(workers=3))
-        backend = SocketBackend(
-            [server.address for server in worker_pair], job_timeout=60.0
-        )
-        sock = run_campaign(specs, backend=backend)
-        blob = sorted_rows_blob(serial.rows)
-        assert sorted_rows_blob(pool.rows) == blob
-        assert sorted_rows_blob(sock.rows) == blob
-        # Order, not just set, matches the input scenario order.
-        assert pool.rows == serial.rows
-        assert sock.rows == serial.rows
-        # Hash sharding spread work over both workers.
-        per_worker = backend.last_stats["per_worker"].values()
-        assert all(count > 0 for count in per_worker)
-        assert sum(per_worker) == 30
+    """Requeue/death/error equivalence paths.  The full byte-identity
+    matrix (backends x batch sizes x chaos modes) lives in
+    ``test_equivalence_matrix.py``."""
 
     def test_worker_death_mid_campaign_requeues_and_matches(self):
         healthy = WorkerServer()
@@ -362,24 +344,6 @@ class TestExperimentEquivalence:
 
     def test_compile_matches_the_legacy_grid(self):
         assert self.experiment().compile().expand() == GRID_30.expand()
-
-    def test_experiment_rows_byte_identical_across_backends(self, worker_pair):
-        legacy = run_campaign(GRID_30, backend=SerialBackend())
-        blob = sorted_rows_blob(legacy.rows)
-        exp = self.experiment()
-
-        serial = exp.run(backend="serial")
-        pool = exp.run(backend="pool", workers=3)
-        sock = exp.run(
-            backend="socket",
-            connect=[server.address for server in worker_pair],
-            job_timeout=60.0,
-        )
-        for campaign in (serial, pool, sock):
-            assert len(campaign) == 30
-            assert sorted_rows_blob(campaign.rows) == blob
-            assert campaign.rows == legacy.rows  # order, not just set
-        assert "socket" in (sock.backend_summary or "")
 
     def test_every_new_row_carries_schema_1(self, tmp_path):
         from repro.runtime import SCHEMA_VERSION

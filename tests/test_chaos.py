@@ -26,6 +26,7 @@ import pytest
 from repro.runtime import (
     BackendError,
     ChaosPolicy,
+    ResultStore,
     ScenarioGrid,
     ScenarioSpec,
     SerialBackend,
@@ -222,56 +223,8 @@ class TestChaosSocket:
             pair.close()
 
 
-class TestChaosCampaigns:
-    """Row byte-identity under injected faults, both chaos points."""
-
-    def serial_rows(self):
-        return run_campaign(GRID_12, backend=SerialBackend()).rows
-
-    def test_driver_side_chaos_rows_byte_identical(self):
-        # drop starves jobs into the resend path; reset tears links into
-        # the reconnect path; delay shakes frame interleaving.  The
-        # workers keep listening, so every recovery converges.
-        servers = [WorkerServer(), WorkerServer()]
-        for server in servers:
-            server.start()
-        try:
-            serial = self.serial_rows()
-            backend = SocketBackend(
-                [server.address for server in servers],
-                job_timeout=1.5, ping_grace=2.0,
-                backoff=0.05, degrade_after=30.0,
-                chaos=ChaosPolicy(drop=0.08, delay=0.2, delay_s=0.05,
-                                  reset=0.05, seed=7),
-            )
-            result = run_campaign(GRID_12, backend=backend)
-            assert result.rows == serial
-            assert backend.last_stats["quarantined"] == 0
-            assert backend.last_stats["degraded"] is False
-        finally:
-            for server in servers:
-                server.stop()
-
-    def test_worker_side_chaos_rows_byte_identical(self):
-        # Worker-to-driver corruption: the checksum refuses the frame,
-        # the session drops, the reconnector redials, the job re-runs.
-        policy = ChaosPolicy(corrupt=0.08, delay=0.2, delay_s=0.05, seed=3)
-        servers = [WorkerServer(chaos=policy), WorkerServer(chaos=policy)]
-        for server in servers:
-            server.start()
-        try:
-            serial = self.serial_rows()
-            backend = SocketBackend(
-                [server.address for server in servers],
-                job_timeout=1.5, ping_grace=2.0,
-                backoff=0.05, degrade_after=30.0,
-            )
-            result = run_campaign(GRID_12, backend=backend)
-            assert result.rows == serial
-            assert backend.last_stats["quarantined"] == 0
-        finally:
-            for server in servers:
-                server.stop()
+# Row byte-identity under injected faults (both chaos points, every
+# batch size) lives in ``test_equivalence_matrix.py``.
 
 
 class TestReconnect:
@@ -480,6 +433,138 @@ class TestPoisonQuarantine:
                 server.stop()
 
 
+class TestBatchedRequeue:
+    """Requeue semantics at batch granularity: a worker dying while it
+    holds a partially-executed batch must cost progress, never results.
+
+    ``die_after_jobs`` kills at frame *accept* (the whole batch dies
+    unanswered before execution starts -- covered by the equivalence
+    matrix); the poison gate kills at the job's *execution position*, so
+    batch-mates ahead of the poison key have already executed (and, when
+    sharding, durably landed on disk) when the process exits.  Either
+    way the driver must requeue all N jobs and every job must land
+    exactly once.
+    """
+
+    def spawn_worker(self, shard=None, env=None):
+        argv = [sys.executable, "-m", "repro", "worker",
+                "--serve", "127.0.0.1:0"]
+        if shard is not None:
+            argv += ["--shard", str(shard)]
+        proc = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, cwd=str(REPO_ROOT),
+            env={**os.environ, "PYTHONPATH": "src", **(env or {})},
+        )
+        line = proc.stdout.readline()
+        if "listening on" not in line:
+            proc.kill()
+            raise RuntimeError(f"worker failed to start: {line!r}")
+        return proc, line.rsplit(" ", 1)[-1].strip()
+
+    def run_poisoned_batch_campaign(self, monkeypatch, tmp_path=None):
+        """GRID_12 with one poison key, batch=64 (every worker's whole
+        queue in one frame, poison mid-batch); returns everything the
+        assertions need."""
+        specs = GRID_12.expand()
+        poison = specs[4].scenario_hash()
+        # Baseline before the env var can reach this process.
+        serial = run_campaign(specs, backend=SerialBackend()).rows
+        monkeypatch.setenv(POISON_ENV, poison)
+
+        shards = None
+        if tmp_path is not None:
+            shards = [tmp_path / "shard0.jsonl", tmp_path / "shard1.jsonl"]
+        workers = [
+            self.spawn_worker(shard=shards[i] if shards else None)
+            for i in range(2)
+        ]
+        store = (ResultStore(tmp_path / "store.jsonl")
+                 if tmp_path is not None else None)
+        try:
+            backend = SocketBackend(
+                [address for _, address in workers],
+                job_timeout=5.0, ping_grace=2.0,
+                backoff=0.05, degrade_after=0.5, batch=64,
+            )
+            result = run_campaign(specs, store=store, backend=backend)
+        finally:
+            for proc, _ in workers:
+                proc.kill()
+                proc.wait()
+        return specs, poison, serial, backend, result, shards, store
+
+    def test_poison_inside_batch_lands_every_job_exactly_once(
+        self, monkeypatch
+    ):
+        specs, poison, serial, backend, result, _, _ = (
+            self.run_poisoned_batch_campaign(monkeypatch)
+        )
+        # No losses: every scenario resolved, exactly one as quarantine.
+        assert result.stats.executed == len(specs) - 1
+        assert result.stats.failed == result.stats.quarantined == 1
+        rows_by_key = {spec.scenario_hash(): row
+                       for spec, row in zip(specs, result.rows)}
+        assert len(rows_by_key) == len(specs)  # one row per key
+        bad = rows_by_key.pop(poison)
+        assert bad["quarantine"]["scenario"] == poison
+        # The poison key crashed at least one real worker before being
+        # convicted by the isolated probe.
+        assert len(bad["quarantine"]["executors"]) >= 2
+        clean_serial = [row for row in serial if row["scenario"] != poison]
+        assert (sorted_rows_blob(rows_by_key.values())
+                == sorted_rows_blob(clean_serial))
+        # The partially-executed batch was requeued whole...
+        assert backend.last_stats["requeued"] > 0
+        assert backend.last_stats["lost"] >= 1
+        # ...and re-delivery never double-yielded a key (duplicates are
+        # detected and discarded at the driver).
+        assert backend.last_stats["quarantined"] == 1
+
+    def test_poison_inside_sharded_batch_dedups_across_shards(
+        self, monkeypatch, tmp_path
+    ):
+        # Batch-mates executed ahead of the poison key hit the shard
+        # *before* the process dies, then the whole unanswered batch is
+        # re-executed elsewhere: the same key can land in two shards (or
+        # a shard plus the driver store).  Rows are pure functions of
+        # specs, so hash-dedup makes every copy identical and the merge
+        # path conflict-free.
+        specs, poison, serial, backend, result, shards, store = (
+            self.run_poisoned_batch_campaign(monkeypatch, tmp_path)
+        )
+        serial_by_key = {row["scenario"]: row for row in serial}
+        assert result.stats.executed == len(specs) - 1
+        assert result.stats.quarantined == 1
+
+        # Every shard row -- including orphans from the dead worker's
+        # partial batch -- is byte-identical to the serial row.
+        shard_rows = 0
+        for shard in shards:
+            if not shard.exists():
+                continue
+            for key in (shard_store := ResultStore(shard)).keys():
+                assert shard_store.get(key) == serial_by_key[key]
+                shard_rows += 1
+        assert shard_rows > 0, "no batch-mate ever reached a shard"
+
+        # The driver store holds exactly the non-poison rows (the
+        # quarantine row is a failure and is never persisted), all
+        # matching serial -- merging the shards in changes nothing.
+        persisted = ResultStore(store.path)
+        assert sorted(persisted.keys()) == sorted(
+            key for key in serial_by_key if key != poison
+        )
+        for key in persisted.keys():
+            assert persisted.get(key) == serial_by_key[key]
+        for shard in shards:
+            if shard.exists():
+                added, _ = persisted.merge_from(ResultStore(shard))
+                assert added == 0  # nothing new, nothing conflicting
+        for key in persisted.keys():
+            assert persisted.get(key) == serial_by_key[key]
+
+
 class TestCalibrationPing:
     def test_non_pong_frames_are_tolerated_and_logged(self):
         # An over-eager peer streaming frames before answering the
@@ -507,8 +592,9 @@ class TestCalibrationPing:
         thread.start()
         backend = SocketBackend([address])
         try:
-            sock, rtt = backend._connect(address)
+            sock, rtt, shard = backend._connect(address)
             assert rtt is not None and rtt > 0
+            assert shard is None
             sock.close()
         finally:
             listener.close()

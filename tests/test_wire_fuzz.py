@@ -1,0 +1,257 @@
+"""Property-based wire-protocol fuzz tests (seeded, dependency-free).
+
+Three properties over randomly generated inputs, each with a fixed seed
+so failures reproduce:
+
+* **round-trip**: any batch payload -- random batch sizes, random keys,
+  arbitrarily nested JSON specs/rows -- survives v5 framing byte-exact,
+  and validates through :func:`decode_jobs` / :func:`decode_results`;
+* **refusal**: any random byte corruption or truncation of a framed
+  batch is refused as a :class:`WireError` (or clean EOF at a frame
+  boundary) -- never a half-decoded batch, never a silently different
+  document;
+* **resumability**: a frame stream chopped at random byte positions and
+  delivered across ``socket.timeout`` boundaries decodes to exactly the
+  frames sent, in order, with no desync.
+"""
+
+import json
+import random
+import socket as socket_module
+import struct
+import zlib
+
+import pytest
+
+from repro.runtime.backends.wire import (
+    FrameReceiver,
+    MAX_FRAME_BYTES,
+    WireError,
+    decode_jobs,
+    decode_results,
+    recv_frame,
+    send_frame,
+)
+
+TRIALS = 120
+
+
+def frame_bytes(doc) -> bytes:
+    """Frame ``doc`` exactly as :func:`send_frame` does."""
+    body = json.dumps(doc, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return struct.pack(">II", len(body), zlib.crc32(body)) + body
+
+
+class ByteStream:
+    """A closed socket replayed from memory: ``recv`` drains a buffer,
+    then returns ``b""`` (EOF) forever."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._pos = 0
+
+    def recv(self, count: int) -> bytes:
+        chunk = self._data[self._pos:self._pos + count]
+        self._pos += len(chunk)
+        return chunk
+
+
+def random_json(rng: random.Random, depth: int = 0):
+    """An arbitrary JSON value (finite floats only; depth-bounded)."""
+    kinds = ["str", "int", "float", "bool", "null"]
+    if depth < 3:
+        kinds += ["dict", "list"]
+    kind = rng.choice(kinds)
+    if kind == "str":
+        return "".join(
+            rng.choice("abc é☃{}[]\"\\\n\t0")
+            for _ in range(rng.randrange(0, 12))
+        )
+    if kind == "int":
+        return rng.randrange(-10**9, 10**9)
+    if kind == "float":
+        return rng.uniform(-1e6, 1e6)
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "null":
+        return None
+    if kind == "list":
+        return [random_json(rng, depth + 1)
+                for _ in range(rng.randrange(0, 4))]
+    return {
+        f"k{i}": random_json(rng, depth + 1)
+        for i in range(rng.randrange(0, 4))
+    }
+
+
+def random_jobs_frame(rng: random.Random):
+    entries = [
+        {"key": "%064x" % rng.getrandbits(256),
+         "spec": {"n": rng.randrange(3, 50),
+                  "extra": random_json(rng)}}
+        for _ in range(rng.randrange(1, 20))
+    ]
+    doc = {"type": "jobs", "batch": rng.randrange(1, 10**6),
+           "jobs": entries, "sent_at": rng.uniform(0, 2e9)}
+    if rng.random() < 0.5:
+        doc["telemetry"] = True
+    return doc
+
+
+def random_results_frame(rng: random.Random):
+    entries = []
+    for _ in range(rng.randrange(1, 20)):
+        entry = {"key": "%064x" % rng.getrandbits(256),
+                 "ok": rng.random() < 0.9,
+                 "timing": {"exec_s": rng.uniform(0, 1)}}
+        if rng.random() < 0.3:
+            entry["sharded"] = True
+        else:
+            entry["row"] = {"agreed": True, "payload": random_json(rng)}
+        entries.append(entry)
+    return {"type": "results", "batch": rng.randrange(1, 10**6),
+            "results": entries}
+
+
+class TestRoundTrip:
+    def test_random_batch_frames_roundtrip_byte_exact(self):
+        rng = random.Random(0xBA7C4)
+        a, b = socket_module.socketpair()
+        try:
+            for _ in range(TRIALS):
+                doc = (random_jobs_frame(rng) if rng.random() < 0.5
+                       else random_results_frame(rng))
+                send_frame(a, doc)
+                received = recv_frame(b)
+                assert received == doc
+                if received["type"] == "jobs":
+                    assert decode_jobs(received) == doc["jobs"]
+                else:
+                    assert decode_results(received) == doc["results"]
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_batch_roundtrips(self):
+        rng = random.Random(5)
+        doc = {"type": "jobs", "batch": 1, "sent_at": 0.0,
+               "jobs": [{"key": "%064x" % rng.getrandbits(256),
+                         "spec": {"n": 7, "blob": "x" * 200}}
+                        for _ in range(500)]}
+        stream = ByteStream(frame_bytes(doc))
+        assert recv_frame(stream) == doc
+        assert len(frame_bytes(doc)) < MAX_FRAME_BYTES
+
+
+class TestRefusal:
+    def test_random_byte_corruption_never_half_decodes(self):
+        # Any flipped byte -- header length, header CRC, or body -- must
+        # surface as WireError.  It must never decode to a *different*
+        # document than the one sent (a half-accepted batch would break
+        # the all-or-nothing requeue contract).
+        rng = random.Random(0xC0DE)
+        for _ in range(TRIALS):
+            doc = (random_jobs_frame(rng) if rng.random() < 0.5
+                   else random_results_frame(rng))
+            frame = bytearray(frame_bytes(doc))
+            for _ in range(rng.randrange(1, 4)):
+                position = rng.randrange(len(frame))
+                frame[position] ^= rng.randrange(1, 256)
+            try:
+                decoded = recv_frame(ByteStream(bytes(frame)))
+            except WireError:
+                continue
+            # Astronomically unlikely (a 2^-32 CRC collision), but the
+            # contract if it ever happens is still all-or-nothing: the
+            # flips must have cancelled out to the original bytes.
+            assert decoded == doc
+
+    def test_random_truncation_is_eof_or_wire_error(self):
+        rng = random.Random(0x7E4)
+        for _ in range(TRIALS):
+            doc = random_jobs_frame(rng)
+            frame = frame_bytes(doc)
+            cut = rng.randrange(len(frame))
+            stream = ByteStream(frame[:cut])
+            if cut == 0:
+                # Nothing arrived: clean EOF at a frame boundary.
+                assert recv_frame(stream) is None
+            else:
+                with pytest.raises(WireError, match="mid-frame"):
+                    recv_frame(stream)
+
+    def test_structural_mutations_refused_whole(self):
+        # decode_jobs/decode_results guard structure the checksum cannot:
+        # a frame that *is* valid JSON but not a valid batch.
+        rng = random.Random(99)
+        jobs = random_jobs_frame(rng)
+        results = random_results_frame(rng)
+        bad_jobs = [
+            {**jobs, "jobs": []},
+            {**jobs, "jobs": None},
+            {**jobs, "jobs": "not-a-list"},
+            {**jobs, "jobs": jobs["jobs"] + [{"spec": {}}]},       # no key
+            {**jobs, "jobs": jobs["jobs"] + [{"key": "ab"}]},      # no spec
+            {**jobs, "jobs": jobs["jobs"] + [{"key": 7, "spec": {}}]},
+            {**jobs, "jobs": jobs["jobs"] + [{"key": "ab", "spec": []}]},
+            {**jobs, "jobs": jobs["jobs"] + ["entry"]},
+        ]
+        for doc in bad_jobs:
+            with pytest.raises(WireError):
+                decode_jobs(doc)
+        bad_results = [
+            {**results, "results": []},
+            {**results, "results": None},
+            {**results, "results": results["results"] + [{"ok": True}]},
+            {**results, "results": results["results"]
+             + [{"key": "ab", "ok": "yes"}]},
+            # ok entry with neither a row nor a shard marker
+            {**results, "results": results["results"]
+             + [{"key": "ab", "ok": True}]},
+            {**results, "results": results["results"]
+             + [{"key": "ab", "ok": True, "row": "not-a-dict"}]},
+        ]
+        for doc in bad_results:
+            with pytest.raises(WireError):
+                decode_results(doc)
+
+
+class TestResumability:
+    def test_random_chunking_across_timeouts_preserves_stream(self):
+        # A stream of frames delivered in random slices, with the reader
+        # timing out between slices, must decode to exactly the frames
+        # sent -- FrameReceiver's buffer keeps the stream position true.
+        rng = random.Random(0xF10)
+        for _ in range(10):
+            docs = [
+                (random_jobs_frame(rng) if rng.random() < 0.5
+                 else random_results_frame(rng))
+                for _ in range(rng.randrange(2, 6))
+            ]
+            stream = b"".join(frame_bytes(doc) for doc in docs)
+            cuts = sorted(
+                rng.randrange(1, len(stream))
+                for _ in range(rng.randrange(1, 12))
+            )
+            chunks = [
+                stream[lo:hi]
+                for lo, hi in zip([0] + cuts, cuts + [len(stream)])
+            ]
+            a, b = socket_module.socketpair()
+            try:
+                b.settimeout(0.02)
+                receiver = FrameReceiver(b)
+                decoded = []
+                for chunk in chunks:
+                    if chunk:
+                        a.sendall(chunk)
+                    while True:
+                        try:
+                            decoded.append(receiver.recv())
+                        except socket_module.timeout:
+                            break
+                assert decoded == docs
+            finally:
+                a.close()
+                b.close()
