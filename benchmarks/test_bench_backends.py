@@ -27,6 +27,7 @@ import pytest
 
 from repro.obs import Telemetry
 from repro.obs.stats import phase_breakdown, wallclock_summary
+from repro.obs.trend import append_record, cache_hit_rates, make_record, phase_shares
 from repro.runtime import (
     CampaignRunner,
     PoolBackend,
@@ -44,6 +45,17 @@ WORKERS = 2
 #: instead of drowning in per-job framing.
 BATCH = 16
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+#: Cross-run trend history (committed): one ``repro.obs.trend`` record
+#: per backend row per benchmark run.  The CI bench-trend step gates on
+#: ``python -m repro trend BENCH_trend.jsonl --check`` instead of ad-hoc
+#: ``vs_serial`` parsing -- same record format as ``campaign --trend``.
+TREND_PATH = Path(__file__).resolve().parent.parent / "BENCH_trend.jsonl"
+
+#: Stable per-row trend labels (worker counts and batch sizes are
+#: configuration, not identity: the trend must keep comparing like with
+#: like if WORKERS or BATCH is ever tuned).
+TREND_LABELS = ("bench:serial", "bench:pool", "bench:socket-batched",
+                "bench:socket-unbatched")
 
 #: Enough work for per-scenario cost to dominate setup, small enough for
 #: CI: 3 sizes x 2 budgets x 2 adversaries x 2 patterns x 3 seeds = 72.
@@ -153,6 +165,21 @@ def test_backend_throughput_and_equivalence():
             indent=2, sort_keys=True,
         ) + "\n"
     )
+    # One trend record per backend row, appended to the committed
+    # history: `repro trend BENCH_trend.jsonl` renders the trajectory,
+    # `--check` is the CI regression gate.  The instrumented socket pass
+    # contributes phase shares and cache hit rates to the batched row.
+    for label, row in zip(TREND_LABELS, rows):
+        batched_socket = label == "bench:socket-batched"
+        append_record(TREND_PATH, make_record(
+            label=label,
+            scenarios=row["scenarios"],
+            wall_s=row["wall_s"],
+            backend=row["backend"],
+            phase_share=phase_shares(telemetry.rows) if batched_socket else None,
+            cache_hit_rate=(cache_hit_rates(telemetry.rows)
+                            if batched_socket else None),
+        ))
     print_table(
         rows,
         ["backend", "scenarios", "wall_s", "scen_per_s", "vs_serial"],

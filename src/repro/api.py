@@ -56,7 +56,7 @@ from .adversary.registry import adversary_spec, make_adversary
 from .core.api import SolveReport, _solve, _solve_baseline
 from .core.wrapper import AUTHENTICATED, MODES, UNAUTHENTICATED
 from .net.adversary import Adversary
-from .obs import Telemetry
+from .obs import Telemetry, configure_logging
 from .predictions.generators import GENERATORS, generate
 from .reporting.render import write_report
 from .reporting.spec import Report, ReportSpec, TableSpec, build_report
@@ -477,6 +477,9 @@ class Experiment:
         mp_context: str = "fork",
         lock: bool = True,
         telemetry: Optional[Union[str, Telemetry]] = None,
+        live: bool = False,
+        trend: Optional[str] = None,
+        log_level: Optional[str] = None,
     ) -> "Campaign":
         """Execute every scenario (cached rows served from ``store``).
 
@@ -511,11 +514,22 @@ class Experiment:
                 :class:`~repro.obs.Telemetry` instance.  Phase timings
                 and worker utilization are recorded alongside the run;
                 result rows are byte-identical with telemetry on or off.
+            live: render a live progress line (throughput, ETA,
+                per-worker state) to stderr while the campaign runs;
+                rows stay byte-identical with the live view on or off.
+            trend: append one run-summary record to this trend-history
+                JSONL after the run (render with ``python -m repro
+                trend PATH``; gate CI with ``--check``).
+            log_level: configure the ``repro`` logging tree at this
+                level (``debug``/``info``/...) before running, exactly
+                like the CLI ``--log-level`` flags.
 
         Returns:
             A :class:`Campaign` with rows in scenario order.
         """
         self._require_declarative("run()")
+        if log_level is not None:
+            configure_logging(log_level)
         if isinstance(store, str) or hasattr(store, "__fspath__"):
             store = ResultStore(store)
         resolved, owned = self._resolve_backend(
@@ -533,6 +547,8 @@ class Experiment:
                 backend=resolved,
                 lock=lock,
                 telemetry=telemetry,
+                live=live,
+                trend=trend,
             )
             result = runner.run(self.scenarios())
             summary = resolved.summary() if resolved is not None else None

@@ -46,7 +46,7 @@ from ..api import Experiment
 from ..core.wrapper import AUTHENTICATED, UNAUTHENTICATED, total_round_bound
 from ..lowerbounds.messages import message_lower_bound
 from ..lowerbounds.rounds import round_lower_bound
-from ..obs.logsetup import LOG_LEVELS
+from ..obs.logsetup import LOG_LEVELS, configure_logging
 from ..predictions.generators import GENERATORS
 from ..reporting.paper import SCALES as REPORT_SCALES, paper_report_spec
 from ..reporting.render import write_report
@@ -217,6 +217,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSONL telemetry sidecar (span/event rows; result "
         "rows are unaffected); inspect it with: python -m repro stats PATH",
     )
+    campaign.add_argument(
+        "--live", action="store_true",
+        help="render live progress on stderr while the campaign runs "
+        "(single-line redraw on a TTY, plain 'live:' lines otherwise); "
+        "result rows are unaffected",
+    )
+    campaign.add_argument(
+        "--trend", default=None, metavar="PATH",
+        help="append one run-summary record (scenarios, wall, scen/s, "
+        "phase shares, cache hit rates) to this trend-history JSONL; "
+        "inspect it with: python -m repro trend PATH",
+    )
+    campaign.add_argument(
+        "--log-level", choices=sorted(LOG_LEVELS), default=None,
+        help="structured log verbosity on stderr for the repro logging "
+        "tree (driver retry/reconnect/requeue lines at warning+)",
+    )
 
     report = commands.add_parser(
         "report",
@@ -250,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--mpl", action="store_true",
         help="also render PNG figures when matplotlib is importable",
+    )
+    report.add_argument(
+        "--log-level", choices=sorted(LOG_LEVELS), default=None,
+        help="structured log verbosity on stderr for the repro logging "
+        "tree while filling in missing scenarios",
     )
 
     worker = commands.add_parser(
@@ -295,6 +317,32 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "telemetry", metavar="TELEMETRY",
         help="JSONL telemetry file written by campaign --telemetry",
+    )
+
+    trend = commands.add_parser(
+        "trend",
+        help="render a cross-run trend history (sparkline tables per "
+        "label) and optionally gate on regressions",
+    )
+    trend.add_argument(
+        "history", metavar="HISTORY",
+        help="trend-history JSONL written by campaign --trend or the "
+        "benchmark suite",
+    )
+    trend.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero when the latest run's throughput regresses "
+        "below --tolerance of the rolling baseline or a phase's "
+        "wall-clock share balloons past it",
+    )
+    trend.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="rolling-baseline length in runs (default: 5)",
+    )
+    trend.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRACTION",
+        help="fraction of baseline throughput the latest run must reach "
+        "(default: 0.9)",
     )
 
     store_cmd = commands.add_parser(
@@ -437,6 +485,9 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
             batch=args.batch,
             adaptive_window=args.adaptive_window,
             telemetry=args.telemetry or None,
+            live=args.live,
+            trend=args.trend or None,
+            log_level=args.log_level,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -457,6 +508,9 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     if args.telemetry:
         print(f"telemetry: wrote {args.telemetry} "
               f"(inspect with: python -m repro stats {args.telemetry})")
+    if args.trend:
+        print(f"trend: appended to {args.trend} "
+              f"(inspect with: python -m repro trend {args.trend})")
     rows = campaign.ok_rows()
     if args.rows:
         print(format_table(rows, _ROW_COLUMNS, title="scenarios"))
@@ -489,6 +543,8 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
 def _run_report_command(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    if args.log_level is not None:
+        configure_logging(args.log_level)
     spec = paper_report_spec(args.scale)
     store_path = args.store or f"reports/campaign-{args.scale}.jsonl"
     with ResultStore(store_path) as store:
@@ -652,6 +708,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..obs.stats import main_stats
 
         return main_stats(args.telemetry)
+    if args.command == "trend":
+        # Imported directly (not via repro.obs) -- see repro.obs.trend.
+        from ..obs.trend import DEFAULT_TOLERANCE, DEFAULT_WINDOW, main_trend
+
+        return main_trend(
+            args.history,
+            check=args.check,
+            window=args.window if args.window is not None else DEFAULT_WINDOW,
+            tolerance=(args.tolerance if args.tolerance is not None
+                       else DEFAULT_TOLERANCE),
+        )
     common = dict(
         mode=getattr(args, "mode", UNAUTHENTICATED),
         generator=getattr(args, "generator", "concentrated"),

@@ -8,15 +8,21 @@ Import surface (everything here is stdlib-only, so lower layers like
   :func:`current` -- the span/event API (:mod:`repro.obs.spans`);
 * :func:`load_telemetry`, :data:`TELEMETRY_SCHEMA_VERSION` -- sink I/O;
 * :func:`configure_logging`, :func:`kv` -- structured logging
-  (:mod:`repro.obs.logsetup`).
+  (:mod:`repro.obs.logsetup`);
+* :class:`MetricsRegistry`, :data:`NULL_METRIC` -- live counters,
+  gauges, and histograms (:mod:`repro.obs.metrics`; instrumentation
+  sites use the submodule helpers, ``from repro.obs import metrics``).
 
-:mod:`repro.obs.stats` (the ``repro stats`` renderer) is deliberately
-*not* imported here: it pulls in :mod:`repro.reporting`, which imports
-the runtime, which imports this package -- importing it eagerly would
-make the package cyclic.  Import it directly when needed.
+:mod:`repro.obs.stats` (the ``repro stats`` renderer),
+:mod:`repro.obs.trend` (cross-run history), and the renderer half of
+:mod:`repro.obs.live` are deliberately *not* imported here: they pull in
+:mod:`repro.reporting`, which imports the runtime, which imports this
+package -- importing them eagerly would make the package cyclic.  Import
+them directly when needed.
 """
 
 from .logsetup import LOG_LEVELS, configure_logging, kv
+from .metrics import METRICS_SCHEMA_VERSION, MetricsRegistry, NULL_METRIC
 from .spans import (
     DISABLED,
     NULL_SPAN,
@@ -33,6 +39,9 @@ from .spans import (
 __all__ = [
     "DISABLED",
     "LOG_LEVELS",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "NULL_METRIC",
     "NULL_SPAN",
     "Span",
     "Telemetry",

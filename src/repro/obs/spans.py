@@ -36,6 +36,7 @@ threaded through their signatures.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 import time
@@ -47,6 +48,14 @@ from typing import Any, Dict, List, Optional, Union
 #: in their own sidecar file with their own layout contract.  Bump on
 #: any incompatible row change; readers refuse rows from the future.
 TELEMETRY_SCHEMA_VERSION = 1
+
+#: Sink size past which a telemetry writes a one-time warning: the JSONL
+#: sidecar grows unbounded on long campaigns (one ``job`` event per
+#: scenario plus spans), and a quietly multi-GB sidecar next to a few-MB
+#: result store is almost never what the operator wanted.
+SINK_WARN_BYTES = 512 * 1024 * 1024
+
+_log = logging.getLogger("repro.obs")
 
 
 class _NullSpan:
@@ -137,6 +146,11 @@ class Telemetry:
         self.enabled = enabled
         self.path = Path(path) if path is not None else None
         self.rows: List[Dict[str, Any]] = []
+        #: Bytes this instance has appended to its sink (0 for in-memory
+        #: telemetries).  ``json.dumps`` emits pure ASCII here, so the
+        #: character count *is* the byte count.
+        self.sink_bytes = 0
+        self._sink_warned = False
         self.epoch_wall = time.time()
         self.epoch_perf = time.perf_counter()
         self._pid = os.getpid()
@@ -185,9 +199,16 @@ class Telemetry:
                 if self._handle is None or self._handle.closed:
                     self.path.parent.mkdir(parents=True, exist_ok=True)
                     self._handle = open(self.path, "a", encoding="utf-8")
-                self._handle.write(
-                    json.dumps(row, sort_keys=True, default=str) + "\n"
-                )
+                data = json.dumps(row, sort_keys=True, default=str) + "\n"
+                self._handle.write(data)
+                self.sink_bytes += len(data)
+                if self.sink_bytes > SINK_WARN_BYTES and not self._sink_warned:
+                    self._sink_warned = True
+                    _log.warning(
+                        "telemetry sink %s exceeds %d bytes and keeps "
+                        "growing; consider a shorter campaign slice or "
+                        "disabling --telemetry", self.path, SINK_WARN_BYTES,
+                    )
 
     # -- lifecycle -----------------------------------------------------
 

@@ -237,7 +237,9 @@ def phase_breakdown(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
 def worker_utilization(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
     """Per-worker table from ``socket.worker``/``socket.connect``/
     ``socket.ping``/``job`` events: jobs completed, busy time,
-    utilization, mean/peak pipeline window, mean ping RTT."""
+    utilization, mean/peak pipeline window, mean ping RTT, plus the
+    worker's own last wire-v6 metrics snapshot (executed-job count and
+    exec rate measured on the worker's clock) when present."""
     jobs_by_worker: Dict[str, int] = defaultdict(int)
     for job in _events(rows, "job"):
         worker = (job.get("attrs") or {}).get("worker")
@@ -254,6 +256,8 @@ def worker_utilization(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
         attrs = event.get("attrs") or {}
         worker = attrs.get("worker", "?")
         samples = rtts.get(worker)
+        done = attrs.get("w_done")
+        up_s = float(attrs.get("w_up_s") or 0.0)
         table.append({
             "worker": worker,
             "jobs": jobs_by_worker.get(worker, 0),
@@ -263,6 +267,9 @@ def worker_utilization(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
             "peak_win": attrs.get("peak_window"),
             "rtt_ms": (round(sum(samples) / len(samples) * 1e3, 3)
                        if samples else ""),
+            "w_done": done if done is not None else "",
+            "exec/s": (round(float(done) / up_s, 1)
+                       if done is not None and up_s > 0 else ""),
         })
     return sorted(table, key=lambda row: str(row["worker"]))
 
@@ -352,8 +359,14 @@ def resilience_summary(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return table
 
 
-def wallclock_summary(rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
-    """The "where did the wall-clock go" numbers, as one flat dict."""
+def wallclock_summary(rows: Sequence[Dict[str, Any]],
+                      sink_bytes: Optional[int] = None) -> Dict[str, Any]:
+    """The "where did the wall-clock go" numbers, as one flat dict.
+
+    ``sink_bytes`` is the on-disk size of the telemetry sidecar itself
+    (the sink grows unbounded on long campaigns, so its own weight is
+    part of the story); ``None`` when the rows did not come from a file.
+    """
     jobs = _events(rows, "job")
     exec_total = sum(
         float((job.get("attrs") or {}).get("exec_s") or 0.0) for job in jobs
@@ -383,16 +396,18 @@ def wallclock_summary(rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
         "cached": campaign_stats.get("cached"),
         "failed": campaign_stats.get("failed"),
         "quarantined": campaign_stats.get("quarantined"),
+        "sink_bytes": sink_bytes,
     }
 
 
 def render_stats(rows: Sequence[Dict[str, Any]],
-                 source: Optional[str] = None) -> str:
+                 source: Optional[str] = None,
+                 sink_bytes: Optional[int] = None) -> str:
     """The full ``repro stats`` text: header, phase table, worker table,
     execute-time sparkline, wall-clock summary."""
     from ..reporting.render import format_table, sparkline
 
-    summary = wallclock_summary(rows)
+    summary = wallclock_summary(rows, sink_bytes=sink_bytes)
     lines = []
     header = f"telemetry: {len(rows)} row(s)"
     if source:
@@ -417,12 +432,13 @@ def render_stats(rows: Sequence[Dict[str, Any]],
 
     workers = worker_utilization(rows)
     if workers:
+        columns = ["worker", "jobs", "busy_s", "util_%", "mean_win",
+                   "peak_win", "rtt_ms"]
+        if any(row["w_done"] != "" for row in workers):
+            columns += ["w_done", "exec/s"]
         lines.append("")
         lines.append(format_table(
-            workers,
-            ["worker", "jobs", "busy_s", "util_%", "mean_win", "peak_win",
-             "rtt_ms"],
-            title="worker utilization",
+            workers, columns, title="worker utilization",
         ))
 
     resilience = resilience_summary(rows)
@@ -460,12 +476,15 @@ def render_stats(rows: Sequence[Dict[str, Any]],
                      " of wall time")
     if summary["quarantined"]:
         parts.append(f"quarantined {summary['quarantined']}")
+    if summary["sink_bytes"] is not None:
+        parts.append(f"sink bytes {summary['sink_bytes']}")
     lines.append("where did the wall-clock go: " + " | ".join(parts))
     return "\n".join(lines)
 
 
 def main_stats(path: Union[str, Path]) -> int:
     """``python -m repro stats TELEMETRY``: render a sink file; exit 0."""
+    import os
     import sys
 
     try:
@@ -476,5 +495,6 @@ def main_stats(path: Union[str, Path]) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_stats(rows, source=str(path)))
+    print(render_stats(rows, source=str(path),
+                       sink_bytes=os.path.getsize(path)))
     return 0

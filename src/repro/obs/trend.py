@@ -1,0 +1,280 @@
+"""Cross-run trend history: schema-stamped run summaries + regression gate.
+
+One campaign produces one :func:`make_record` -- scenarios, wall,
+throughput, phase shares, cache hit rates, backend, ``cpu_count`` --
+appended to a history JSONL (``repro campaign --trend PATH``,
+``Experiment.run(trend=...)``, and ``benchmarks/test_bench_backends.py``
+all write the same format).  Across runs the file becomes the perf
+trajectory the ROADMAP's ``repro serve`` trend dashboards will sit on:
+
+* ``repro trend HISTORY`` renders per-label sparkline tables across runs;
+* ``repro trend HISTORY --check`` exits nonzero when the latest run's
+  throughput regresses below a tolerance of the rolling baseline (the
+  mean of the previous ``window`` runs with the same label) or a phase's
+  wall-clock share balloons past the baseline by more than an absolute
+  slack -- the CI bench-trend gate.
+
+Like :mod:`repro.obs.stats`, the renderer borrows ``format_table`` /
+``sparkline`` from the reporting layer *lazily* (importing them at module
+scope from inside ``repro.obs`` would be cyclic: reporting imports the
+runtime, which imports obs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+#: Version stamp on every trend record; readers refuse the future.
+TREND_SCHEMA_VERSION = 1
+
+#: Rolling-baseline length: the latest record is compared against the
+#: mean of up to this many predecessors with the same label.
+DEFAULT_WINDOW = 5
+
+#: The latest run must reach this fraction of the baseline throughput.
+DEFAULT_TOLERANCE = 0.9
+
+#: A phase's wall-clock share may exceed its baseline by at most this
+#: many percentage points before --check calls it ballooned.
+DEFAULT_SHARE_SLACK = 15.0
+
+
+def phase_shares(telemetry_rows: Sequence[Dict[str, Any]]) -> Dict[str, float]:
+    """``{phase: share_%}`` from a telemetry sink's phase breakdown
+    (phases without a computable share are skipped)."""
+    from .stats import phase_breakdown
+
+    return {
+        row["phase"]: row["share_%"]
+        for row in phase_breakdown(telemetry_rows)
+        if isinstance(row["share_%"], (int, float))
+    }
+
+
+def cache_hit_rates(
+    telemetry_rows: Sequence[Dict[str, Any]],
+) -> Dict[str, float]:
+    """Aggregate ``{cache: hit_rate}`` over every ``job`` event's ``perf``
+    sidecar (the worker-side :func:`repro.perf.cache_report` shipped back
+    per job); empty when jobs carried no perf stats."""
+    hits: Dict[str, int] = {}
+    misses: Dict[str, int] = {}
+    for row in telemetry_rows:
+        if row.get("kind") != "event" or row.get("name") != "job":
+            continue
+        perf = (row.get("attrs") or {}).get("perf") or {}
+        for cache, stats in perf.items():
+            if not isinstance(stats, dict):
+                continue
+            hits[cache] = hits.get(cache, 0) + int(stats.get("hits") or 0)
+            misses[cache] = misses.get(cache, 0) + int(stats.get("misses") or 0)
+    rates = {}
+    for cache in sorted(hits):
+        total = hits[cache] + misses.get(cache, 0)
+        if total:
+            rates[cache] = round(hits[cache] / total, 4)
+    return rates
+
+
+def make_record(
+    *,
+    label: str,
+    scenarios: int,
+    wall_s: float,
+    backend: Optional[str] = None,
+    phase_share: Optional[Dict[str, float]] = None,
+    cache_hit_rate: Optional[Dict[str, float]] = None,
+    wall: Optional[float] = None,
+) -> Dict[str, Any]:
+    """One schema-stamped run-summary record (JSON-ready dict)."""
+    return {
+        "schema": TREND_SCHEMA_VERSION,
+        "label": label,
+        "wall": round(time.time() if wall is None else wall, 3),
+        "scenarios": int(scenarios),
+        "wall_s": round(float(wall_s), 4),
+        "scen_per_s": round(scenarios / wall_s, 2) if wall_s > 0 else 0.0,
+        "backend": backend,
+        "cpu_count": os.cpu_count(),
+        "phase_share": dict(sorted((phase_share or {}).items())),
+        "cache_hit_rate": dict(sorted((cache_hit_rate or {}).items())),
+    }
+
+
+def append_record(path: Union[str, Path], record: Dict[str, Any]) -> None:
+    """Append one record to the history JSONL (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a trend history back into records, oldest first.
+
+    Raises ``ValueError`` on undecodable lines or records stamped with a
+    schema this reader does not understand; ``FileNotFoundError`` when
+    the history does not exist yet.
+    """
+    records: List[Dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{number}: undecodable trend record: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or "label" not in record:
+            raise ValueError(f"{path}:{number}: not a trend record")
+        schema = record.get("schema")
+        if schema != TREND_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}:{number}: trend schema {schema!r} is not "
+                f"supported (this reader speaks {TREND_SCHEMA_VERSION})"
+            )
+        records.append(record)
+    return records
+
+
+def _grouped(
+    records: Sequence[Dict[str, Any]],
+) -> "OrderedDict[str, List[Dict[str, Any]]]":
+    """Records bucketed by label, file order preserved within a label."""
+    groups: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
+    for record in records:
+        groups.setdefault(str(record.get("label")), []).append(record)
+    return groups
+
+
+def _baseline(history: Sequence[Dict[str, Any]],
+              window: int) -> List[Dict[str, Any]]:
+    """The rolling-baseline slice: up to ``window`` records preceding the
+    latest one."""
+    return list(history[max(0, len(history) - 1 - window):-1])
+
+
+def render_trend(records: Sequence[Dict[str, Any]]) -> str:
+    """Per-label trend table with a throughput sparkline across runs."""
+    from ..reporting.render import format_table, sparkline
+
+    if not records:
+        return "trend: no records"
+    table = []
+    for label, history in _grouped(records).items():
+        rates = [float(r.get("scen_per_s") or 0.0) for r in history]
+        last = history[-1]
+        baseline = _baseline(history, DEFAULT_WINDOW)
+        base_rate = (sum(float(r.get("scen_per_s") or 0.0)
+                         for r in baseline) / len(baseline)
+                     if baseline else None)
+        table.append({
+            "label": label,
+            "runs": len(history),
+            "backend": last.get("backend") or "",
+            "scen/s": rates[-1],
+            "best": max(rates),
+            "vs_base": (f"{rates[-1] / base_rate:.2f}x"
+                        if base_rate else ""),
+            "trend": sparkline(rates),
+        })
+    lines = [format_table(
+        table,
+        ["label", "runs", "backend", "scen/s", "best", "vs_base", "trend"],
+        title=f"trend: {len(records)} run record(s)",
+    )]
+    return "\n".join(lines)
+
+
+def check_trend(
+    records: Sequence[Dict[str, Any]],
+    window: int = DEFAULT_WINDOW,
+    tolerance: float = DEFAULT_TOLERANCE,
+    share_slack: float = DEFAULT_SHARE_SLACK,
+) -> List[str]:
+    """Regression messages for the latest run of every label.
+
+    Empty list = healthy.  A label with fewer than two records has no
+    baseline and is never flagged.  Checks, per label:
+
+    * throughput: latest ``scen_per_s`` >= ``tolerance`` x the mean of
+      the previous ``window`` runs;
+    * phase shares: no phase's latest ``share_%`` exceeds its baseline
+      mean by more than ``share_slack`` percentage points (phases absent
+      from the baseline are skipped -- new instrumentation is not a
+      regression).
+    """
+    problems: List[str] = []
+    for label, history in _grouped(records).items():
+        baseline = _baseline(history, window)
+        if not baseline:
+            continue
+        last = history[-1]
+        base_rate = (sum(float(r.get("scen_per_s") or 0.0) for r in baseline)
+                     / len(baseline))
+        last_rate = float(last.get("scen_per_s") or 0.0)
+        if base_rate > 0 and last_rate < tolerance * base_rate:
+            problems.append(
+                f"{label}: throughput regressed to {last_rate:.2f} scen/s "
+                f"(< {tolerance:.0%} of rolling baseline {base_rate:.2f})"
+            )
+        last_shares = last.get("phase_share") or {}
+        for phase, share in sorted(last_shares.items()):
+            base_shares = [
+                float((r.get("phase_share") or {}).get(phase))
+                for r in baseline
+                if (r.get("phase_share") or {}).get(phase) is not None
+            ]
+            if not base_shares:
+                continue
+            base_share = sum(base_shares) / len(base_shares)
+            if float(share) > base_share + share_slack:
+                problems.append(
+                    f"{label}: phase '{phase}' share ballooned to "
+                    f"{float(share):.1f}% (baseline {base_share:.1f}% "
+                    f"+ {share_slack:.0f}pt slack)"
+                )
+    return problems
+
+
+def main_trend(
+    path: Union[str, Path],
+    check: bool = False,
+    window: int = DEFAULT_WINDOW,
+    tolerance: float = DEFAULT_TOLERANCE,
+    share_slack: float = DEFAULT_SHARE_SLACK,
+) -> int:
+    """``python -m repro trend HISTORY [--check]``.
+
+    Exit 0 on a healthy (or merely rendered) history, 1 when ``--check``
+    finds a regression, 2 on a missing or unreadable history file.
+    """
+    import sys
+
+    try:
+        records = load_history(path)
+    except FileNotFoundError:
+        print(f"error: no such trend history: {path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_trend(records))
+    if not check:
+        return 0
+    problems = check_trend(records, window=window, tolerance=tolerance,
+                           share_slack=share_slack)
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION {problem}", file=sys.stderr)
+        return 1
+    print(f"trend check OK: {len(records)} record(s), no regressions")
+    return 0

@@ -80,6 +80,7 @@ import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+from ...obs import metrics
 from ...obs.logsetup import kv
 from ...obs.spans import Telemetry, current
 from .base import Backend, BackendError, Job, JobResult, execute_job, quarantine_row
@@ -185,6 +186,13 @@ class _WorkerLink:
         #: Telemetry only: per-batch ``(queue_s by key, serialize_s,
         #: sent_perf)``.
         self.phase_meta: Dict[int, Tuple[Dict[str, float], float, float]] = {}
+        #: Latest worker self-report (the wire-v6 ``metrics`` field on
+        #: ``pong``/``results`` frames); read by the live view and the
+        #: teardown ``socket.worker`` event.  GIL-atomic replace.
+        self.worker_metrics: Optional[Dict[str, Any]] = None
+        #: Jobs currently in flight on this link (driver-thread writes,
+        #: live-view reads).
+        self.inflight_jobs = 0
 
     def enqueue(self, key: str, spec: Any) -> None:
         """Queue one job, stamped with its enqueue time (queue-wait phase)."""
@@ -403,6 +411,10 @@ class SocketBackend(Backend):
         self.chaos = chaos
         self.last_stats: Dict[str, Any] = {}
         self._generation = itertools.count(1)
+        #: Every link of the current/last submit (live view reads this;
+        #: rebound to a fresh list per submit, so a stale reader sees a
+        #: consistent snapshot of the previous campaign at worst).
+        self._all_links: List[_WorkerLink] = []
 
     # -- connection setup ---------------------------------------------
 
@@ -477,6 +489,7 @@ class SocketBackend(Backend):
         connect_start = time.perf_counter()
         sock, rtt, shard = self._connect(address)
         generation = next(self._generation)
+        metrics.set_gauge("socket.reconnect_generation", generation)
         ident = f"{address}#g{generation}"
         wrapped: Any = sock
         if self.chaos is not None:
@@ -619,6 +632,7 @@ class SocketBackend(Backend):
         sharded_keys: Dict[str, str] = {}
         live: List[_WorkerLink] = list(links)
         all_links: List[_WorkerLink] = list(links)
+        self._all_links = all_links
         degrade_deadline: Optional[float] = None
 
         def start_probe(job: Job) -> None:
@@ -740,11 +754,13 @@ class SocketBackend(Backend):
                         for job in requeue:
                             unassigned[job[0]] = job
                     stats["requeued"] += len(requeue)
+                    metrics.inc("socket.requeues", len(requeue))
 
                 elif kind == "joined":
                     live.append(link)
                     all_links.append(link)
                     stats["reconnects"] += 1
+                    metrics.inc("socket.reconnects")
                     degrade_deadline = None
                     start_driver(link)
                     # Reshard: the newcomer takes its hash share of the
@@ -919,6 +935,35 @@ class SocketBackend(Backend):
             )
         return " | ".join(parts)
 
+    def live_workers(self) -> List[Dict[str, Any]]:
+        """Per-link liveness rows for the live progress view.
+
+        Combines driver-side state (in-flight jobs, pipeline window,
+        last ping RTT, completed count) with the worker's own wire-v6
+        self-report (queue depth, jobs done, exec rate).  Read from the
+        reporter thread while driver threads mutate the links: every
+        field is a GIL-atomic read of an int/float/reference, so rows
+        are slightly stale but never torn.
+        """
+        rows: List[Dict[str, Any]] = []
+        for link in list(self._all_links):
+            report = link.worker_metrics or {}
+            rtts = link.ping_rtts
+            done = report.get("done")
+            up_s = report.get("up_s") or 0.0
+            rows.append({
+                "worker": link.ident,
+                "inflight": link.inflight_jobs,
+                "window": link.window,
+                "rtt_ms": round(rtts[-1] * 1e3, 2) if rtts else None,
+                "queue": report.get("queue"),
+                "done": done,
+                "exec/s": (round(float(done) / up_s, 1)
+                           if done is not None and up_s > 0 else None),
+                "completed": link.completed,
+            })
+        return rows
+
     # -- per-worker driver thread -------------------------------------
 
     def _drive(
@@ -937,6 +982,9 @@ class SocketBackend(Backend):
                     self._farewell(link)
                     return
                 doc = self._await_frame(link, inflight)
+                snap = doc.get("metrics")
+                if isinstance(snap, dict):
+                    link.worker_metrics = snap
                 if doc["type"] == "results":
                     entry = inflight.pop(doc.get("batch"), None)
                     if entry is None:
@@ -944,6 +992,8 @@ class SocketBackend(Backend):
                         # since settled; the main loop dedups keys anyway.
                         continue
                     batch_jobs: List[Job] = entry[0]
+                    link.inflight_jobs -= len(batch_jobs)
+                    metrics.inc_gauge("socket.inflight", -len(batch_jobs))
                     # All-or-nothing: a malformed results frame refuses
                     # the batch whole (WireError -> dead link -> requeue).
                     results = decode_results(doc)
@@ -983,10 +1033,20 @@ class SocketBackend(Backend):
             ]
             events.put(("dead", link, (inflight_jobs, link.drain_jobs())))
         finally:
+            if link.inflight_jobs:
+                # Death path: give the in-flight jobs back to the gauge
+                # so the fleet-wide level stays exact across lost links.
+                metrics.inc_gauge("socket.inflight", -link.inflight_jobs)
+                link.inflight_jobs = 0
             if occupancy is not None:
+                report = link.worker_metrics or {}
                 telemetry.event("socket.worker", worker=link.address,
                                 connect_s=round(link.connect_s, 6),
                                 window=link.window,
+                                w_queue=report.get("queue"),
+                                w_done=report.get("done"),
+                                w_exec_s=report.get("exec_s"),
+                                w_up_s=report.get("up_s"),
                                 **occupancy.summary())
 
     def _record_batch(self, telemetry: Telemetry, link: _WorkerLink,
@@ -1113,6 +1173,9 @@ class SocketBackend(Backend):
                     sent_perf,
                 )
             inflight[batch_id] = [jobs, time.perf_counter(), 0]
+            link.inflight_jobs += len(jobs)
+            metrics.inc_gauge("socket.inflight", len(jobs))
+            metrics.set_gauge("socket.window", link.window)
 
     def _await_frame(self, link: _WorkerLink,
                      inflight: Dict[int, List[Any]]) -> Dict[str, Any]:

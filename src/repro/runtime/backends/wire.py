@@ -33,11 +33,21 @@ type         direction  meaning
                         the sidecar (``queue_s``, ``deser_s``, ``exec_s``,
                         and ``perf`` cache stats when requested).  When
                         the worker shards, an ok entry carries
-                        ``"sharded": true`` and omits ``row``.
+                        ``"sharded": true`` and omits ``row``.  The frame
+                        also carries ``metrics``, the worker's compact
+                        self-report (below).
 ``ping``     driver →   liveness probe while a batch is outstanding
-``pong``     → driver   liveness answer (sent even mid-execution)
+``pong``     → driver   liveness answer (sent even mid-execution); carries
+                        ``metrics`` like ``results``
 ``bye``      driver →   orderly end of session; worker closes the socket
 ===========  =========  ===================================================
+
+The ``metrics`` field on ``pong``/``results`` frames (wire v6) is the
+worker's compact self-report, measured on its own clocks: ``{"queue":
+<executor batches waiting>, "done": <jobs executed>, "exec_s":
+<cumulative execute seconds>, "up_s": <seconds since worker start>}``.
+It feeds the driver's live view and per-worker stats; like the
+``timing`` sidecar it never touches ``row``.
 
 A batch frame is all-or-nothing end to end: framing makes it one
 ``sendall`` (so one fault-injection point -- a dropped ``jobs`` frame
@@ -81,7 +91,12 @@ from typing import Any, Dict, Optional
 #: advertise a result shard -- a v4 worker would ignore ``jobs`` frames
 #: and never answer, hanging the driver until ``job_timeout``, so the
 #: skew is refused at handshake.
-PROTOCOL_VERSION = 5
+#: v6: ``pong`` and ``results`` frames piggyback a compact worker
+#: ``metrics`` snapshot (queue depth, jobs done, cumulative exec
+#: seconds, uptime) -- a v5 worker would silently omit it, blinding the
+#: driver's live view and ``repro stats`` to worker-side health while
+#: appearing to work, so the skew is refused at handshake.
+PROTOCOL_VERSION = 6
 
 #: Frame header: 4-byte body length + 4-byte CRC32 of the body, both
 #: unsigned big-endian.

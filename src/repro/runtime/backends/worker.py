@@ -102,6 +102,11 @@ class WorkerServer:
         self.log = log or (lambda *_: None)
         self.jobs_done = 0
         self.sessions = 0
+        #: Cumulative execute seconds across every job (all sessions),
+        #: measured on this worker's own monotonic clock -- the numerator
+        #: of the exec rate the driver's live view renders.
+        self.exec_seconds = 0.0
+        self._started = time.perf_counter()
         self._jobs_seen = 0
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -242,8 +247,15 @@ class WorkerServer:
                 if doc is None or doc["type"] == "bye":
                     return
                 if doc["type"] == "ping":
+                    # Wire v6: every pong piggybacks a compact metrics
+                    # snapshot, so each heartbeat doubles as a health
+                    # sample (queue depth, exec rate) for the driver's
+                    # live view -- no extra frames, no extra round trips.
                     with send_lock:
-                        send_frame(conn, {"type": "pong"})
+                        send_frame(conn, {
+                            "type": "pong",
+                            "metrics": self.metrics_snapshot(jobs),
+                        })
                 elif doc["type"] == "jobs":
                     # All-or-nothing: a malformed batch is a WireError
                     # that drops the session before any entry executes.
@@ -309,6 +321,26 @@ class WorkerServer:
                      protocol=PROTOCOL_VERSION))
         return True
 
+    def metrics_snapshot(
+        self, jobs: "Optional[queue.Queue]" = None
+    ) -> Dict[str, Any]:
+        """The compact worker-metrics snapshot piggybacked on ``pong``
+        and ``results`` frames (wire v6).
+
+        Keys: ``queue`` (inbound batches waiting in this session's
+        executor queue), ``done`` (jobs executed, all sessions),
+        ``exec_s`` (cumulative execute seconds), ``up_s`` (seconds since
+        the worker process started) -- enough for the driver to derive
+        queue depth and exec rate without another round trip.  Measured
+        on the worker's own clocks; never touches result rows.
+        """
+        return {
+            "queue": jobs.qsize() if jobs is not None else 0,
+            "done": self.jobs_done,
+            "exec_s": round(self.exec_seconds, 6),
+            "up_s": round(time.perf_counter() - self._started, 6),
+        }
+
     def _should_die(self, batch_size: int = 1) -> bool:
         if self.die_after_jobs is None:
             return False
@@ -341,6 +373,7 @@ class WorkerServer:
                 key, ok, row, timing = self._run_job(entry, telemetry)
                 timing["queue_s"] = round(started - received, 6)
                 self.jobs_done += 1
+                self.exec_seconds += float(timing.get("exec_s") or 0.0)
                 result: Dict[str, Any] = {"key": key, "ok": ok,
                                           "timing": timing}
                 if ok and self._shard is not None:
@@ -356,11 +389,15 @@ class WorkerServer:
                     result["row"] = row
                 results.append(result)
             try:
+                # Wire v6: the results frame carries a metrics snapshot
+                # too, so a busy pipeline (which rarely times out into
+                # the heartbeat path) still feeds the live view.
                 with send_lock:
                     send_frame(
                         conn,
                         {"type": "results", "batch": doc.get("batch"),
-                         "results": results},
+                         "results": results,
+                         "metrics": self.metrics_snapshot(jobs)},
                     )
             except OSError:
                 return  # driver went away; nothing to report to

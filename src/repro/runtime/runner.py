@@ -26,10 +26,13 @@ fast with :class:`~repro.runtime.store.StoreLockError`.  Read-only probes
 
 from __future__ import annotations
 
+import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from ..obs import metrics
 from ..obs.spans import Telemetry, activate, current
 from .backends import Backend, PoolBackend, SerialBackend
 from .scenario import ScenarioGrid, ScenarioSpec
@@ -117,6 +120,16 @@ class CampaignRunner:
             the duration of each run, so backends and the store record
             into it without signature changes; result rows are unaffected
             (byte-identical with telemetry on or off).
+        live: render a live progress line (throughput, ETA, per-worker
+            state) to stderr while the campaign runs -- a single-line TTY
+            redraw, plain ``live:`` append lines otherwise.  Powered by
+            the :mod:`~repro.obs.metrics` registry; a fresh registry is
+            activated for the run when none is.  Result rows are
+            unaffected (byte-identical with the live view on or off).
+        trend: append one schema-stamped run-summary record (scenarios,
+            wall, throughput, phase shares, cache hit rates) to this
+            trend-history JSONL after the run; read back by
+            ``repro trend`` (see :mod:`repro.obs.trend`).
     """
 
     def __init__(
@@ -128,6 +141,8 @@ class CampaignRunner:
         backend: Optional[Backend] = None,
         lock: bool = True,
         telemetry: Optional[Union[str, Path, Telemetry]] = None,
+        live: bool = False,
+        trend: Optional[Union[str, Path]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -138,20 +153,56 @@ class CampaignRunner:
         self.backend = backend
         self.lock = lock
         self.telemetry = telemetry
+        self.live = live
+        self.trend = trend
 
     def run(self, scenarios: ScenarioSource) -> CampaignResult:
         """Execute a campaign; returns rows in scenario order."""
         telemetry, owned_telemetry = self._resolve_telemetry()
-        if telemetry is None:
-            # No telemetry of our own: run under whatever is already
-            # active (usually the disabled default; possibly a caller's).
-            return self._run(scenarios, current())
-        try:
-            with activate(telemetry):
-                return self._run(scenarios, telemetry)
-        finally:
-            if owned_telemetry:
-                telemetry.close()
+        with ExitStack() as stack:
+            if self.live and not metrics.current().enabled:
+                # The live view needs a registry to read; activate a
+                # fresh one unless the caller already activated theirs.
+                stack.enter_context(metrics.activate(metrics.MetricsRegistry()))
+            if telemetry is None:
+                # No telemetry of our own: run under whatever is already
+                # active (usually the disabled default; maybe a caller's).
+                active = current()
+            else:
+                if owned_telemetry:
+                    # Registered before activation so close runs after
+                    # deactivation (LIFO).
+                    stack.callback(telemetry.close)
+                stack.enter_context(activate(telemetry))
+                active = telemetry
+            start = time.perf_counter()
+            result = self._run(scenarios, active)
+            wall_s = time.perf_counter() - start
+            if wall_s > 0:
+                metrics.set_gauge("campaign.rows_per_s",
+                                  round(result.stats.total / wall_s, 2))
+        if self.trend is not None:
+            self._append_trend(result, active, wall_s)
+        return result
+
+    def _append_trend(self, result: CampaignResult, telemetry: Telemetry,
+                      wall_s: float) -> None:
+        """One run-summary record into the trend history (see ``trend``)."""
+        from ..obs import trend
+
+        if self.backend is not None:
+            backend_name = self.backend.name
+        else:
+            backend_name = "serial" if self.workers == 1 else "pool"
+        rows = telemetry.rows if telemetry.enabled else []
+        trend.append_record(self.trend, trend.make_record(
+            label="campaign",
+            scenarios=result.stats.total,
+            wall_s=wall_s,
+            backend=backend_name,
+            phase_share=trend.phase_shares(rows) if rows else None,
+            cache_hit_rate=trend.cache_hit_rates(rows) if rows else None,
+        ))
 
     def _run(self, scenarios: ScenarioSource,
              telemetry: Telemetry) -> CampaignResult:
@@ -182,20 +233,36 @@ class CampaignRunner:
                     stats.deduplicated = (
                         len(keyed) - len(results) - len(pending)
                     )
+            metrics.set_gauge("campaign.total", stats.total)
+            metrics.set_gauge("campaign.cached", stats.cached)
+            reporter = None
+            if self.live:
+                from ..obs.live import LiveReporter
+                reporter = LiveReporter(len(pending), backend=backend)
             try:
-                for key, ok, row in backend.submit(pending):
-                    results[key] = row
-                    if ok:
-                        stats.executed += 1
-                        if self.store is not None:
-                            self.store.put(key, row)
-                    else:
-                        stats.failed += 1
-                        if "quarantine" in row:
-                            stats.quarantined += 1
-                backend_stats = getattr(backend, "last_stats", None)
-                if isinstance(backend_stats, dict):
-                    stats.sharded = int(backend_stats.get("sharded", 0))
+                if reporter is not None:
+                    reporter.start()
+                try:
+                    for key, ok, row in backend.submit(pending):
+                        results[key] = row
+                        if ok:
+                            stats.executed += 1
+                            metrics.inc("campaign.completed")
+                            if self.store is not None:
+                                self.store.put(key, row)
+                        else:
+                            stats.failed += 1
+                            metrics.inc("campaign.failed")
+                            if "quarantine" in row:
+                                stats.quarantined += 1
+                                metrics.inc("campaign.quarantined")
+                finally:
+                    backend_stats = getattr(backend, "last_stats", None)
+                    if isinstance(backend_stats, dict):
+                        stats.sharded = int(backend_stats.get("sharded", 0))
+                        metrics.set_gauge("campaign.sharded", stats.sharded)
+                    if reporter is not None:
+                        reporter.stop()
                 if self.store is not None:
                     with telemetry.span("store.sync"):
                         self.store.sync()

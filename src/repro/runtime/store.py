@@ -27,9 +27,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+from ..obs import metrics
 from ..obs.spans import span
 
 
@@ -160,6 +162,9 @@ class ResultStore:
             handle.write(line + "\n")
             handle.flush()
             self._rows[key] = row
+            metrics.inc("store.appends")
+            # json.dumps emits pure ASCII, so len(line) is the byte count.
+            metrics.inc("store.append_bytes", len(line) + 1)
 
     def sync(self) -> None:
         """fsync pending appends to disk."""
@@ -206,6 +211,7 @@ class ResultStore:
         """
         if self._lock_fd is not None:
             return
+        lock_start = time.perf_counter()
         with span("store.lock", path=str(self.lock_path)):
             self.path.parent.mkdir(parents=True, exist_ok=True)
             try:
@@ -229,6 +235,9 @@ class ResultStore:
             os.write(fd, f"{os.getpid()}\n".encode("ascii"))
             self._lock_fd = fd
             self._lock_is_flock = True
+        metrics.inc("store.lock_acquisitions")
+        metrics.observe("store.lock_wait_s",
+                        time.perf_counter() - lock_start)
 
     def _acquire_lock_exclusive_create(self) -> None:
         """Fallback lock for platforms without ``fcntl``: atomic

@@ -168,6 +168,53 @@ class TestEquivalenceMatrix:
                 server.stop()
 
 
+class TestObservabilityEquivalence:
+    """The live view and the metrics registry are observers: every cell
+    of ``{serial, pool, socket} x {metrics+live on}`` must stay
+    byte-identical to the plain serial baseline (PR 9's axis, extending
+    the telemetry-sidecar identity already proven in ``test_obs.py``)."""
+
+    def _run_live(self, backend):
+        from repro.obs import metrics
+        from repro.runtime import CampaignRunner
+
+        with metrics.activate(metrics.MetricsRegistry()):
+            return CampaignRunner(backend=backend, live=True).run(GRID_30)
+
+    def test_serial_live_metrics_match_serial(self, baseline):
+        result = self._run_live(SerialBackend())
+        assert sorted_rows_blob(result.rows) == sorted_rows_blob(baseline)
+
+    def test_pool_live_metrics_match_serial(self, baseline):
+        result = self._run_live(PoolBackend(workers=3))
+        assert sorted_rows_blob(result.rows) == sorted_rows_blob(baseline)
+
+    def test_socket_live_metrics_match_serial(self, baseline):
+        servers = [WorkerServer(), WorkerServer()]
+        for server in servers:
+            server.start()
+        try:
+            backend = socket_backend(
+                [server.address for server in servers], 8, "off"
+            )
+            result = self._run_live(backend)
+            assert sorted_rows_blob(result.rows) == sorted_rows_blob(baseline)
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_trend_sidecar_does_not_touch_rows(self, baseline, tmp_path):
+        from repro.obs.trend import load_history
+        from repro.runtime import CampaignRunner
+
+        history = tmp_path / "trend.jsonl"
+        result = CampaignRunner(trend=history).run(GRID_30)
+        assert sorted_rows_blob(result.rows) == sorted_rows_blob(baseline)
+        records = load_history(history)
+        assert len(records) == 1
+        assert records[0]["scenarios"] == 30
+
+
 class TestShardStoreEquality:
     """Worker-side shards reconciled through the store-merge path must
     leave the driver's store byte-equal to a serial campaign's store."""

@@ -417,6 +417,90 @@ class TestStatsCLI:
             main(["worker", "--serve", "127.0.0.1:0", "--log-level", "loud"])
 
 
+class TestSinkBytes:
+    def test_sink_bytes_match_file_size(self, tmp_path):
+        sink = tmp_path / "tele.jsonl"
+        telemetry = Telemetry(sink)
+        with telemetry.span("outer"):
+            telemetry.event("ev", n=1)
+        telemetry.close()
+        assert telemetry.sink_bytes == sink.stat().st_size > 0
+
+    def test_in_memory_telemetry_counts_nothing(self):
+        telemetry = Telemetry()
+        telemetry.event("ev")
+        assert telemetry.sink_bytes == 0
+
+    def test_warns_once_past_threshold(self, tmp_path, caplog, monkeypatch):
+        monkeypatch.setattr(spans_module, "SINK_WARN_BYTES", 64)
+        telemetry = Telemetry(tmp_path / "tele.jsonl")
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            for _ in range(10):
+                telemetry.event("padding", blob="x" * 32)
+        telemetry.close()
+        warnings = [r for r in caplog.records
+                    if "telemetry sink" in r.getMessage()]
+        assert len(warnings) == 1  # one warning, not one per row
+
+    def test_stats_summary_reports_sink_bytes(self, tmp_path, capsys):
+        sink = tmp_path / "tele.jsonl"
+        CampaignRunner(telemetry=sink).run(GRID_SMALL)
+        assert main(["stats", str(sink)]) == 0
+        assert f"sink bytes {sink.stat().st_size}" in capsys.readouterr().out
+
+
+class TestDegenerateSinks:
+    """Sinks that are valid JSONL but carry less than a full campaign:
+    every reader must degrade, never throw."""
+
+    META_ROW = {"schema": TELEMETRY_SCHEMA_VERSION, "kind": "meta",
+                "wall": 0.0}
+    EVENT_ROW = {"schema": TELEMETRY_SCHEMA_VERSION, "kind": "event",
+                 "name": "job", "at": 0.1,
+                 "attrs": {"scenario": "s", "rounds": 1}}
+
+    def cases(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        meta_only = tmp_path / "meta.jsonl"
+        meta_only.write_text(json.dumps(self.META_ROW) + "\n")
+        events_only = tmp_path / "events.jsonl"
+        events_only.write_text(
+            json.dumps(self.META_ROW) + "\n"
+            + json.dumps(self.EVENT_ROW) + "\n"
+        )
+        return {"empty": empty, "meta_only": meta_only,
+                "events_without_spans": events_only}
+
+    def test_render_stats_degrades(self, tmp_path):
+        for name, sink in self.cases(tmp_path).items():
+            rows = load_telemetry(sink)
+            text = obs_stats.render_stats(rows, source=str(sink))
+            assert "telemetry:" in text, name  # header always present
+            assert "wall" in text, name  # summary line always present
+
+    def test_phase_breakdown_and_coverage_degrade(self, tmp_path):
+        for name, sink in self.cases(tmp_path).items():
+            rows = load_telemetry(sink)
+            breakdown = obs_stats.phase_breakdown(rows)
+            assert isinstance(breakdown, list), name
+            # No campaign span -> coverage has no denominator.
+            assert obs_stats.coverage(rows) is None, name
+            assert obs_stats.worker_utilization(rows) == [], name
+
+    def test_wallclock_summary_degrades(self, tmp_path):
+        for name, sink in self.cases(tmp_path).items():
+            rows = load_telemetry(sink)
+            summary = obs_stats.wallclock_summary(rows)
+            assert summary["wall_s"] is None, name
+            assert summary["jobs"] in (0, 1), name
+
+    def test_main_stats_exits_zero(self, tmp_path, capsys):
+        for name, sink in self.cases(tmp_path).items():
+            assert main(["stats", str(sink)]) == 0, name
+            assert "telemetry:" in capsys.readouterr().out, name
+
+
 class TestExperimentAPI:
     def test_run_accepts_telemetry_instance(self):
         telemetry = Telemetry()

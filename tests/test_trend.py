@@ -1,0 +1,243 @@
+"""Cross-run trend history tests: record schema, the regression gate,
+and the CLI wiring (``repro campaign --trend`` / ``repro trend``).
+
+The gate's contract, asserted here because CI leans on it: flat history
+exits 0, an injected throughput regression or phase-share balloon exits
+1, a missing or corrupt history exits 2, and a label with fewer than two
+records is never flagged (first runs are not regressions).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main as cli_main
+from repro.obs import trend
+from repro.obs.trend import (
+    TREND_SCHEMA_VERSION,
+    append_record,
+    cache_hit_rates,
+    check_trend,
+    load_history,
+    main_trend,
+    make_record,
+    phase_shares,
+    render_trend,
+)
+
+
+def record(label="campaign", scen_per_s=None, wall_s=2.0, scenarios=30,
+           **overrides):
+    made = make_record(label=label, scenarios=scenarios, wall_s=wall_s,
+                       backend="serial", wall=1000.0, **overrides)
+    if scen_per_s is not None:
+        made["scen_per_s"] = scen_per_s
+    return made
+
+
+class TestRecords:
+    def test_make_record_fields(self):
+        made = make_record(
+            label="bench:pool", scenarios=30, wall_s=2.0, backend="pool",
+            phase_share={"execute": 80.0, "append": 5.0},
+            cache_hit_rate={"sign_digest": 0.9}, wall=123.0,
+        )
+        assert made["schema"] == TREND_SCHEMA_VERSION
+        assert made["label"] == "bench:pool"
+        assert made["wall"] == 123.0
+        assert made["scenarios"] == 30
+        assert made["wall_s"] == 2.0
+        assert made["scen_per_s"] == 15.0
+        assert made["backend"] == "pool"
+        assert isinstance(made["cpu_count"], int)
+        assert list(made["phase_share"]) == ["append", "execute"]  # sorted
+        json.dumps(made, sort_keys=True)
+
+    def test_zero_wall_yields_zero_rate(self):
+        assert make_record(label="x", scenarios=5,
+                           wall_s=0.0)["scen_per_s"] == 0.0
+
+    def test_append_load_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "history.jsonl"  # parents created
+        first, second = record(), record(scen_per_s=20.0)
+        append_record(path, first)
+        append_record(path, second)
+        assert load_history(path) == [first, second]
+
+    def test_load_refuses_future_schema(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        bad = dict(record(), schema=TREND_SCHEMA_VERSION + 1)
+        path.write_text(json.dumps(bad) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            load_history(path)
+
+    def test_load_refuses_garbage_with_position(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(json.dumps(record()) + "\n{not json\n")
+        with pytest.raises(ValueError, match=r":2: undecodable"):
+            load_history(path)
+
+    def test_load_refuses_label_less_rows(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"schema": 1}\n')
+        with pytest.raises(ValueError, match="not a trend record"):
+            load_history(path)
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text("\n" + json.dumps(record()) + "\n\n")
+        assert len(load_history(path)) == 1
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_history(tmp_path / "absent.jsonl")
+
+
+class TestSinkDerivation:
+    def test_cache_hit_rates_aggregates_job_events(self):
+        rows = [
+            {"kind": "event", "name": "job",
+             "attrs": {"perf": {"sign_digest": {"hits": 8, "misses": 2}}}},
+            {"kind": "event", "name": "job",
+             "attrs": {"perf": {"sign_digest": {"hits": 2, "misses": 8}}}},
+            {"kind": "event", "name": "other", "attrs": {}},
+        ]
+        assert cache_hit_rates(rows) == {"sign_digest": 0.5}
+
+    def test_cache_hit_rates_empty_without_perf(self):
+        assert cache_hit_rates([]) == {}
+        assert cache_hit_rates(
+            [{"kind": "event", "name": "job", "attrs": {}}]) == {}
+
+    def test_phase_shares_skips_uncomputable(self):
+        # No campaign span -> no wall -> shares are "" and skipped.
+        assert phase_shares([]) == {}
+
+
+class TestCheck:
+    def test_flat_history_is_healthy(self):
+        records = [record(scen_per_s=15.0) for _ in range(4)]
+        assert check_trend(records) == []
+
+    def test_single_record_never_flagged(self):
+        assert check_trend([record(scen_per_s=0.01)]) == []
+
+    def test_throughput_regression_flagged(self):
+        records = [record(scen_per_s=15.0) for _ in range(3)]
+        records.append(record(scen_per_s=5.0))
+        problems = check_trend(records)
+        assert len(problems) == 1
+        assert "throughput regressed" in problems[0]
+        assert "campaign" in problems[0]
+
+    def test_tolerance_is_respected(self):
+        records = [record(scen_per_s=10.0), record(scen_per_s=9.5)]
+        assert check_trend(records, tolerance=0.9) == []
+        assert check_trend(records, tolerance=0.99) != []
+
+    def test_window_bounds_the_baseline(self):
+        # Ancient fast runs outside the window must not poison the gate.
+        records = [record(scen_per_s=100.0)]
+        records += [record(scen_per_s=10.0) for _ in range(5)]
+        records.append(record(scen_per_s=9.8))
+        assert check_trend(records, window=5) == []
+
+    def test_phase_share_balloon_flagged(self):
+        records = [
+            record(phase_share={"execute": 80.0, "append": 5.0}),
+            record(phase_share={"execute": 55.0, "append": 30.0}),
+        ]
+        problems = check_trend(records)
+        assert len(problems) == 1
+        assert "'append' share ballooned" in problems[0]
+
+    def test_new_phase_is_not_a_regression(self):
+        records = [
+            record(phase_share={"execute": 80.0}),
+            record(phase_share={"execute": 80.0, "resync": 50.0}),
+        ]
+        assert check_trend(records) == []
+
+    def test_labels_are_independent(self):
+        records = [
+            record(label="bench:serial", scen_per_s=10.0),
+            record(label="bench:pool", scen_per_s=40.0),
+            record(label="bench:serial", scen_per_s=10.0),
+            record(label="bench:pool", scen_per_s=10.0),  # pool regressed
+        ]
+        problems = check_trend(records)
+        assert len(problems) == 1
+        assert problems[0].startswith("bench:pool:")
+
+
+class TestRender:
+    def test_render_empty(self):
+        assert render_trend([]) == "trend: no records"
+
+    def test_render_shows_labels_and_baseline_ratio(self):
+        records = [record(label="bench:serial", scen_per_s=10.0),
+                   record(label="bench:serial", scen_per_s=12.0)]
+        text = render_trend(records)
+        assert "bench:serial" in text
+        assert "1.20x" in text
+        assert "2 run record(s)" in text
+
+
+class TestMainTrend:
+    def test_exit_codes(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        append_record(path, record(scen_per_s=15.0))
+        append_record(path, record(scen_per_s=15.0))
+        assert main_trend(path, check=True) == 0
+        assert "trend check OK" in capsys.readouterr().out
+
+        append_record(path, record(scen_per_s=1.0))
+        assert main_trend(path, check=True) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+        assert main_trend(tmp_path / "absent.jsonl") == 2
+
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text("{broken\n")
+        assert main_trend(corrupt) == 2
+
+    def test_render_only_ignores_regressions(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        append_record(path, record(scen_per_s=15.0))
+        append_record(path, record(scen_per_s=1.0))
+        assert main_trend(path, check=False) == 0
+
+
+class TestCli:
+    def test_campaign_appends_then_trend_checks(self, tmp_path, capsys):
+        history = tmp_path / "trend.jsonl"
+        argv = ["campaign", "--n", "5", "--budgets", "0",
+                "--store", str(tmp_path / "store.jsonl"),
+                "--trend", str(history)]
+        assert cli_main(argv) == 0
+        assert "trend: appended" in capsys.readouterr().out
+        records = load_history(history)
+        assert len(records) == 1
+        assert records[0]["label"] == "campaign"
+        assert records[0]["backend"] == "serial"
+        assert records[0]["scenarios"] == 1
+
+        assert cli_main(["trend", str(history), "--check"]) == 0
+        assert "trend check OK" in capsys.readouterr().out
+
+    def test_trend_check_flags_injected_regression(self, tmp_path, capsys):
+        history = tmp_path / "trend.jsonl"
+        append_record(history, record(scen_per_s=50.0))
+        append_record(history, record(scen_per_s=5.0))
+        assert cli_main(["trend", str(history), "--check"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+
+    def test_trend_window_and_tolerance_flags(self, tmp_path):
+        history = tmp_path / "trend.jsonl"
+        append_record(history, record(scen_per_s=10.0))
+        append_record(history, record(scen_per_s=9.0))
+        assert cli_main(["trend", str(history), "--check",
+                         "--tolerance", "0.8"]) == 0
+        assert cli_main(["trend", str(history), "--check",
+                         "--tolerance", "0.99"]) == 1
