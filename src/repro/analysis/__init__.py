@@ -1,0 +1,42 @@
+"""Static analysis (``repro lint``) and the runtime lock watchdog.
+
+Two halves of one correctness layer:
+
+* :mod:`repro.analysis.engine` + the rule modules -- the AST-based
+  lint (`python -m repro lint`) enforcing the invariants the rest of
+  the codebase proves by test: determinism (D-series), lock discipline
+  (C-series), wire/schema hygiene (W-series), exception hygiene
+  (E-series).
+* :mod:`repro.analysis.watchdog` -- a process-global, activation-style
+  runtime recorder of real lock-acquisition orders, unioned with the
+  static lock graph in tests.
+
+Only the watchdog names are re-exported here: production modules
+(``obs``, the backends, the store) import them at module load, so this
+package's import cost must stay at "threading plus nothing".  The lint
+engine is imported lazily by the CLI.
+"""
+
+from .watchdog import (  # noqa: F401
+    DISABLED,
+    LockOrderWatchdog,
+    TracedLock,
+    activate,
+    current,
+    find_cycle,
+    lock_acquired,
+    lock_released,
+    traced_lock,
+)
+
+__all__ = [
+    "DISABLED",
+    "LockOrderWatchdog",
+    "TracedLock",
+    "activate",
+    "current",
+    "find_cycle",
+    "lock_acquired",
+    "lock_released",
+    "traced_lock",
+]

@@ -1,0 +1,245 @@
+"""C-series: static lock-order graph and unlocked shared writes.
+
+Scope and honesty: this is a *heuristic* static pass.  It sees locks as
+``with <something named like a lock>:`` blocks (``self._lock``,
+``send_lock``, ...), identifies them as ``ClassName.attr`` (so the
+names line up with the runtime watchdog's :func:`traced_lock` names),
+and builds order edges only from nesting visible inside one function
+body.  Orders composed across call boundaries are the runtime
+watchdog's job (:mod:`repro.analysis.watchdog`); the two halves share
+:func:`~repro.analysis.watchdog.find_cycle` and a name scheme so their
+graphs can be unioned.
+
+Rules:
+
+* ``C-lockorder`` -- a cycle in the static acquisition graph: two code
+  paths that nest the same locks in opposite orders deadlock the first
+  time their threads interleave.
+* ``C-unlocked-write`` -- an instance attribute written by two or more
+  methods of a thread-spawning class, where at least one writer *is* a
+  thread entry point and at least one write has no enclosing lock.
+  ``__init__`` writes are exempt (construction happens-before the
+  thread starts).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from .engine import Violation
+from .watchdog import find_cycle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import FileContext
+
+#: (source lock id, acquired lock id) plus where the nesting is.
+EdgeSite = Tuple[str, str, str, int]
+
+
+def _lock_id(node: ast.expr, owner: str) -> Optional[str]:
+    """The stable identity of a lock expression, or ``None``.
+
+    ``self._lock`` inside class ``Foo`` -> ``Foo._lock`` (matching the
+    :func:`~repro.analysis.watchdog.traced_lock` naming convention);
+    a bare name like ``send_lock`` -> ``Foo.send_lock``.  Calls are
+    never locks here (``span("store.lock")`` is a span).
+    """
+    if isinstance(node, ast.Attribute) and "lock" in node.attr.lower():
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return f"{owner}.{node.attr}"
+        return None  # other_object._lock: identity unknowable statically
+    if isinstance(node, ast.Name) and "lock" in node.id.lower():
+        return f"{owner}.{node.id}"
+    return None
+
+
+class _FunctionLockWalk(ast.NodeVisitor):
+    """Walk one function body tracking the stack of held locks."""
+
+    def __init__(self, owner: str, method: str, path: str) -> None:
+        self.owner = owner
+        self.method = method
+        self.path = path
+        self.held: List[str] = []
+        self.edges: List[EdgeSite] = []
+        #: attr -> list of (locked?, line) for every ``self.X =`` write.
+        self.writes: Dict[str, List[Tuple[bool, int]]] = {}
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            lock = _lock_id(item.context_expr, self.owner)
+            if lock is not None:
+                for outer in self.held:
+                    if outer != lock:
+                        self.edges.append(
+                            (outer, lock, self.path, node.lineno)
+                        )
+                self.held.append(lock)
+                acquired.append(lock)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    def _record_write(self, target: ast.expr, line: int) -> None:
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            self.writes.setdefault(target.attr, []).append(
+                (bool(self.held), line)
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_write(target, node.lineno)
+            if isinstance(target, ast.Tuple):
+                for element in target.elts:
+                    self._record_write(element, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_write(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return  # nested defs run on their own thread-of-control rules
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+
+def _thread_target(node: ast.Call) -> Optional[str]:
+    """``threading.Thread(target=self.X, ...)`` -> ``"X"``."""
+    func = node.func
+    is_thread = (
+        (isinstance(func, ast.Attribute) and func.attr == "Thread")
+        or (isinstance(func, ast.Name) and func.id == "Thread")
+    )
+    if not is_thread:
+        return None
+    for keyword in node.keywords:
+        if (keyword.arg == "target"
+                and isinstance(keyword.value, ast.Attribute)
+                and isinstance(keyword.value.value, ast.Name)
+                and keyword.value.value.id == "self"):
+            return keyword.value.attr
+    return None
+
+
+class _ClassReport:
+    def __init__(self, name: str, path: str) -> None:
+        self.name = name
+        self.path = path
+        self.thread_entries: Set[str] = set()
+        #: attr -> method -> list of (locked?, line).
+        self.writes: Dict[str, Dict[str, List[Tuple[bool, int]]]] = {}
+        self.edges: List[EdgeSite] = []
+
+
+def _analyze_class(node: ast.ClassDef, path: str) -> _ClassReport:
+    report = _ClassReport(node.name, path)
+    methods = [item for item in node.body
+               if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    for method in methods:
+        for call in ast.walk(method):
+            if isinstance(call, ast.Call):
+                target = _thread_target(call)
+                if target is not None:
+                    report.thread_entries.add(target)
+    for method in methods:
+        walk = _FunctionLockWalk(node.name, method.name, path)
+        for stmt in method.body:
+            walk.visit(stmt)
+        report.edges.extend(walk.edges)
+        for attr, sites in walk.writes.items():
+            report.writes.setdefault(attr, {})[method.name] = sites
+    return report
+
+
+def _module_edges(context: "FileContext") -> List[EdgeSite]:
+    """Lock edges from module-level functions (identity is scoped by
+    file stem so same-named helpers in different modules stay
+    distinct)."""
+    stem = context.abspath.stem
+    edges: List[EdgeSite] = []
+    for item in context.tree.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            walk = _FunctionLockWalk(f"{stem}.{item.name}", item.name,
+                                     context.path)
+            for stmt in item.body:
+                walk.visit(stmt)
+            edges.extend(walk.edges)
+    return edges
+
+
+def static_lock_edges(
+    contexts: List["FileContext"],
+) -> List[EdgeSite]:
+    """Every statically-visible lock-order edge across ``contexts``.
+
+    Exposed for the watchdog tests, which union these with the runtime
+    pairs before checking for cycles.
+    """
+    edges: List[EdgeSite] = []
+    for context in contexts:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                edges.extend(_analyze_class(node, context.path).edges)
+        edges.extend(_module_edges(context))
+    return edges
+
+
+def check(contexts: List["FileContext"]) -> List[Violation]:
+    violations: List[Violation] = []
+    reports: List[_ClassReport] = []
+    edges: List[EdgeSite] = []
+    for context in contexts:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                report = _analyze_class(node, context.path)
+                reports.append(report)
+                edges.extend(report.edges)
+        edges.extend(_module_edges(context))
+
+    cycle = find_cycle([(src, dst) for src, dst, _, _ in edges])
+    if cycle is not None:
+        first_hop = {(src, dst): (path, line)
+                     for src, dst, path, line in reversed(edges)}
+        path, line = first_hop[(cycle[0], cycle[1])]
+        violations.append(Violation(
+            "C-lockorder", path, line,
+            "lock-order cycle " + " -> ".join(cycle)
+            + "; two threads interleaving these paths deadlock",
+        ))
+
+    for report in reports:
+        if not report.thread_entries:
+            continue
+        for attr, by_method in sorted(report.writes.items()):
+            writers = {name for name in by_method if name != "__init__"}
+            if len(writers) < 2:
+                continue
+            if not writers & report.thread_entries:
+                continue
+            unlocked = [
+                (method, line)
+                for method in sorted(writers)
+                for locked, line in by_method[method]
+                if not locked
+            ]
+            if not unlocked:
+                continue
+            method, line = unlocked[0]
+            violations.append(Violation(
+                "C-unlocked-write", report.path, line,
+                f"{report.name}.{attr} is written by "
+                f"{', '.join(sorted(writers))} (thread entry points: "
+                f"{', '.join(sorted(report.thread_entries & writers))}) "
+                "with at least one write outside any lock",
+            ))
+    return violations

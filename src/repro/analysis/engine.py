@@ -1,0 +1,267 @@
+"""The ``repro lint`` engine: parse once, run every rule, report.
+
+A lint run is: discover ``*.py`` files under the given paths, parse
+each into one shared :class:`FileContext` (AST + pragma map), hand the
+contexts to every registered rule, then filter the collected
+:class:`Violation` objects through ``--select`` and the per-line pragma
+escapes and render them as text (``RULE file:line message``) or stable
+JSON.
+
+Rule families (catalog in ``docs/ANALYSIS.md``):
+
+* ``D-*`` determinism and ``E-*`` exception hygiene -- per-file AST
+  walks in :mod:`repro.analysis.rules`;
+* ``C-*`` concurrency -- cross-file lock-graph and shared-write
+  analysis in :mod:`repro.analysis.concurrency`;
+* ``W-*`` wire/schema hygiene -- the frame-fingerprint golden check in
+  :mod:`repro.analysis.schema`.
+
+Pragmas: ``# repro: allow[RULE]`` (comma list allowed) on the flagged
+line or the line directly above suppresses that rule there.  Pragmas
+are deliberately line-scoped -- a file-wide escape would let a rule rot
+silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import os
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+#: ``# repro: allow[D-wallclock]`` / ``# repro: allow[D-a, E-b]``.
+_PRAGMA = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+
+#: Every rule the engine knows, for ``--select`` validation and docs.
+RULE_NAMES = (
+    "D-wallclock",
+    "D-random",
+    "D-iterorder",
+    "C-lockorder",
+    "C-unlocked-write",
+    "W-frame-schema",
+    "E-bare",
+    "E-silent",
+    "parse",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One diagnostic: ``rule path:line message``."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.rule} {self.path}:{self.line} {self.message}"
+
+
+class FileContext:
+    """One parsed source file shared by every rule.
+
+    Attributes:
+        path: display path (relative to the invocation cwd when
+            possible -- diagnostics should paste into editors).
+        tree: the parsed module, or ``None`` when the file does not
+            parse (the ``parse`` pseudo-rule reports that).
+        allowed: line number -> set of rule names pragma-allowed there.
+    """
+
+    def __init__(self, path: Path, display: str, source: str) -> None:
+        self.abspath = path
+        self.path = display
+        self.source = source
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            self.parse_error = exc
+        self.allowed: Dict[int, Set[str]] = {}
+        for number, line in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA.search(line)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                self.allowed[number] = {rule for rule in rules if rule}
+
+    def allows(self, rule: str, line: int) -> bool:
+        """Pragma on the flagged line or the line directly above."""
+        for candidate in (line, line - 1):
+            if rule in self.allowed.get(candidate, ()):
+                return True
+        return False
+
+
+def discover(paths: Sequence[str]) -> List[Path]:
+    """All ``*.py`` files under ``paths``, sorted, caches skipped.
+
+    Raises ``FileNotFoundError`` for a path that does not exist -- a
+    typo'd path silently linting zero files would report "clean".
+    """
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            found.append(path)
+        elif path.is_dir():
+            found.extend(
+                candidate for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+    # De-duplicate while keeping the sorted-per-argument order.
+    unique: List[Path] = []
+    seen: Set[Path] = set()
+    for path in found:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _display(path: Path) -> str:
+    """Relative to cwd when that is shorter and does not escape."""
+    try:
+        relative = os.path.relpath(path)
+    except ValueError:  # different drive on Windows
+        return str(path)
+    return relative if not relative.startswith("..") else str(path)
+
+
+def default_golden() -> Path:
+    """``tests/golden/frame_schema.txt`` at this repo's root."""
+    return (Path(__file__).resolve().parents[3]
+            / "tests" / "golden" / "frame_schema.txt")
+
+
+def _selected(rule: str, select: Optional[Sequence[str]]) -> bool:
+    """``--select`` matches whole rule names or family prefixes
+    (``D``, ``C-lockorder``, ``W-frame-schema`` all work)."""
+    if not select:
+        return True
+    for pattern in select:
+        if rule == pattern or rule.startswith(pattern.rstrip("-") + "-"):
+            return True
+    return False
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    select: Optional[Sequence[str]] = None,
+    golden: Optional[Path] = None,
+    write: bool = False,
+) -> List[Violation]:
+    """Run every rule over ``paths`` and return surviving violations.
+
+    Args:
+        select: rule names or family prefixes to keep (default: all).
+        golden: frame-schema golden path (default:
+            ``tests/golden/frame_schema.txt`` at the repo root).
+        write: regenerate the golden instead of checking it.
+    """
+    from . import concurrency, rules, schema
+
+    contexts = []
+    for path in discover(paths):
+        source = path.read_text(encoding="utf-8")
+        contexts.append(FileContext(path, _display(path), source))
+
+    violations: List[Violation] = []
+    for context in contexts:
+        if context.tree is None:
+            error = context.parse_error
+            violations.append(Violation(
+                "parse", context.path, error.lineno or 1,
+                f"file does not parse: {error.msg}",
+            ))
+            continue
+        violations.extend(rules.check_file(context))
+    parsed = [context for context in contexts if context.tree is not None]
+    violations.extend(concurrency.check(parsed))
+    violations.extend(schema.check(
+        parsed, golden=golden or default_golden(), write=write,
+    ))
+
+    kept = [
+        violation for violation in violations
+        if _selected(violation.rule, select)
+        and not _suppressed(violation, contexts)
+    ]
+    return sorted(kept, key=lambda v: (v.path, v.line, v.rule, v.message))
+
+
+def _suppressed(violation: Violation,
+                contexts: Iterable[FileContext]) -> bool:
+    for context in contexts:
+        if context.path == violation.path:
+            return context.allows(violation.rule, violation.line)
+    return False  # goldens and other non-linted anchors have no pragmas
+
+
+# -- rendering ---------------------------------------------------------
+
+
+def render_text(violations: Sequence[Violation], files: int) -> str:
+    lines = [violation.render() for violation in violations]
+    if violations:
+        lines.append(f"repro lint: {len(violations)} violation(s) "
+                     f"in {files} file(s)")
+    else:
+        lines.append(f"repro lint: clean ({files} files)")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation], files: int) -> str:
+    """Stable JSON: sorted violations, sorted keys, 2-space indent."""
+    return json.dumps(
+        {
+            "clean": not violations,
+            "files": files,
+            "violations": [dataclasses.asdict(v) for v in violations],
+        },
+        sort_keys=True, indent=2,
+    )
+
+
+def main_lint(
+    paths: Sequence[str],
+    *,
+    fmt: str = "text",
+    select: Optional[Sequence[str]] = None,
+    golden: Optional[str] = None,
+    write: bool = False,
+) -> int:
+    """CLI entry point for ``python -m repro lint``.
+
+    Exit codes: 0 clean, 1 violations, 2 usage error (unknown rule in
+    ``--select``, missing path).
+    """
+    if select:
+        families = {name.split("-")[0] for name in RULE_NAMES}
+        for pattern in select:
+            if pattern not in RULE_NAMES and pattern not in families:
+                print(f"repro lint: unknown rule or family: {pattern} "
+                      f"(known: {', '.join(RULE_NAMES)})", file=sys.stderr)
+                return 2
+    try:
+        violations = run_lint(
+            paths, select=select,
+            golden=Path(golden) if golden else None, write=write,
+        )
+        files = len(discover(paths))
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if fmt == "json" else render_text
+    print(renderer(violations, files))
+    return 1 if violations else 0

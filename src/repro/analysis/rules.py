@@ -1,0 +1,195 @@
+"""Per-file rules: D-series (determinism) and E-series (exceptions).
+
+Every rule here is a single-file AST walk; anything needing cross-file
+state lives in :mod:`repro.analysis.concurrency` or
+:mod:`repro.analysis.schema`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List, Optional
+
+from .engine import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import FileContext
+
+#: ``random.<fn>`` calls that draw from the *module-level* (process
+#: global, implicitly seeded) generator.  ``random.Random(seed)`` is
+#: the sanctioned spelling and is deliberately absent.
+_GLOBAL_RNG = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "shuffle",
+    "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+})
+
+#: Enclosing functions whose names mark them as the sanctioned jitter
+#: set: backoff smearing is *supposed* to differ between runs and never
+#: touches result rows.
+_JITTER_MARKER = "jitter"
+
+
+def _is_call_to(node: ast.Call, module: str, attr: str) -> bool:
+    func = node.func
+    return (isinstance(func, ast.Attribute) and func.attr == attr
+            and isinstance(func.value, ast.Name) and func.value.id == module)
+
+
+class _FileWalk(ast.NodeVisitor):
+    """One pass collecting every per-file violation."""
+
+    def __init__(self, context: "FileContext") -> None:
+        self.context = context
+        self.violations: List[Violation] = []
+        self._functions: List[str] = []
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(rule, self.context.path, node.lineno, message)
+        )
+
+    # -- scope tracking ------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._functions.append(node.name)
+        self.generic_visit(node)
+        self._functions.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._functions.append(node.name)
+        self.generic_visit(node)
+        self._functions.pop()
+
+    def _in_jitter_scope(self) -> bool:
+        return any(_JITTER_MARKER in name.lower()
+                   for name in self._functions)
+
+    # -- D-series ------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_call_to(node, "time", "time"):
+            self._flag(
+                "D-wallclock", node,
+                "wall-clock time.time(); durations must use "
+                "time.monotonic()/perf_counter() -- pragma-allow real "
+                "wall-clock timestamps",
+            )
+        elif (isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "random"
+                and node.func.attr in _GLOBAL_RNG
+                and not self._in_jitter_scope()):
+            self._flag(
+                "D-random", node,
+                f"random.{node.func.attr}() draws from the unseeded "
+                "process-global generator; use random.Random(seed) "
+                "derived from the scenario",
+            )
+        elif (isinstance(node.func, ast.Name) and node.func.id == "iter"
+                and node.args and _is_set_expr(node.args[0])):
+            self._flag(
+                "D-iterorder", node,
+                "iter() over a set has no deterministic order; sort it",
+            )
+        self.generic_visit(node)
+
+    def _check_iter(self, node: ast.AST, iterable: ast.expr) -> None:
+        if _is_set_expr(iterable):
+            self._flag(
+                "D-iterorder", node,
+                "iterating a set has no deterministic order; sort it "
+                "before it can reach row bytes",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter, node.iter)
+        self.generic_visit(node)
+
+    # -- E-series ------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._flag(
+                "E-bare", node,
+                "bare except catches KeyboardInterrupt/SystemExit; "
+                "name the exceptions (or `except Exception` + justify)",
+            )
+        elif _catches_broad(node.type) and _is_silent(node.body):
+            self._flag(
+                "E-silent", node,
+                "except Exception with a pass body swallows every "
+                "error silently; log it, narrow it, or pragma-justify",
+            )
+        self.generic_visit(node)
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Syntactically-certain set expressions: ``{a, b}``, ``set(...)``,
+    and set comprehensions.  Names that merely *hold* sets are out of
+    scope -- this rule only fires where there is no doubt."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "set")
+
+
+def _catches_broad(handler_type: ast.expr) -> bool:
+    names = []
+    if isinstance(handler_type, ast.Tuple):
+        names = [elt.id for elt in handler_type.elts
+                 if isinstance(elt, ast.Name)]
+    elif isinstance(handler_type, ast.Name):
+        names = [handler_type.id]
+    return any(name in ("Exception", "BaseException") for name in names)
+
+
+def _is_silent(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value in (Ellipsis, None)):
+            continue  # docstrings-as-justification still count as silent
+        return False
+    return True
+
+
+class _DumpsWalk(ast.NodeVisitor):
+    """``json.dumps`` without ``sort_keys=True`` -- separate pass so the
+    keyword check sees the whole call, not the visit order."""
+
+    def __init__(self, context: "FileContext") -> None:
+        self.context = context
+        self.violations: List[Violation] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_call_to(node, "json", "dumps"):
+            sort_keys: Optional[ast.expr] = None
+            for keyword in node.keywords:
+                if keyword.arg == "sort_keys":
+                    sort_keys = keyword.value
+            sorted_ok = (isinstance(sort_keys, ast.Constant)
+                         and sort_keys.value is True)
+            if not sorted_ok:
+                self.violations.append(Violation(
+                    "D-iterorder", self.context.path, node.lineno,
+                    "json.dumps without sort_keys=True leaks dict "
+                    "insertion order into serialized bytes",
+                ))
+        self.generic_visit(node)
+
+
+def check_file(context: "FileContext") -> List[Violation]:
+    """Every per-file violation for one parsed source file."""
+    walk = _FileWalk(context)
+    walk.visit(context.tree)
+    dumps = _DumpsWalk(context)
+    dumps.visit(context.tree)
+    return walk.violations + dumps.violations

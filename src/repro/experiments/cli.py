@@ -371,6 +371,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="print merge counts without writing",
     )
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the repo's invariant lint: determinism (D), lock "
+        "discipline (C), wire/schema hygiene (W), exception hygiene (E)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="diagnostic format (text: `RULE file:line message`)",
+    )
+    lint.add_argument(
+        "--select", type=_str_list, default=None, metavar="RULES",
+        help="comma list of rules or families to run (e.g. D,E-bare)",
+    )
+    lint.add_argument(
+        "--write", action="store_true",
+        help="regenerate tests/golden/frame_schema.txt from the linted "
+        "tree instead of checking against it",
+    )
+    lint.add_argument(
+        "--golden", default=None, metavar="PATH",
+        help="override the frame-schema golden path (tests)",
+    )
+
+    commands.add_parser(
+        "version",
+        help="print every wire/schema version constant as one JSON "
+        "object (what `lint` gates against the frame-schema golden)",
+    )
     return parser
 
 
@@ -693,6 +726,32 @@ def _run_store_command(args: argparse.Namespace) -> int:
     raise AssertionError(args.store_command)
 
 
+def _run_version_command() -> int:
+    """One JSON object with every version constant a peer can diverge
+    on -- the human-readable face of the frame-schema golden."""
+    import json
+
+    from ..api import API_VERSION
+    from ..obs.metrics import METRICS_SCHEMA_VERSION
+    from ..obs.spans import TELEMETRY_SCHEMA_VERSION
+    from ..obs.trend import TREND_SCHEMA_VERSION
+    from ..runtime.backends.wire import PROTOCOL_VERSION
+    from ..runtime.execute import SCHEMA_VERSION
+
+    print(json.dumps(
+        {
+            "API_VERSION": API_VERSION,
+            "METRICS_SCHEMA_VERSION": METRICS_SCHEMA_VERSION,
+            "PROTOCOL_VERSION": PROTOCOL_VERSION,
+            "SCHEMA_VERSION": SCHEMA_VERSION,
+            "TELEMETRY_SCHEMA_VERSION": TELEMETRY_SCHEMA_VERSION,
+            "TREND_SCHEMA_VERSION": TREND_SCHEMA_VERSION,
+        },
+        indent=2, sort_keys=True,
+    ))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "campaign":
@@ -708,6 +767,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..obs.stats import main_stats
 
         return main_stats(args.telemetry)
+    if args.command == "lint":
+        # Lazy, like stats/trend: the lint engine is a dev-time tool
+        # and must not tax `repro solve` startup.
+        from ..analysis.engine import main_lint
+
+        return main_lint(
+            args.paths, fmt=args.format, select=args.select,
+            golden=args.golden, write=args.write,
+        )
+    if args.command == "version":
+        return _run_version_command()
     if args.command == "trend":
         # Imported directly (not via repro.obs) -- see repro.obs.trend.
         from ..obs.trend import DEFAULT_TOLERANCE, DEFAULT_WINDOW, main_trend

@@ -33,6 +33,8 @@ import threading
 from bisect import bisect_right
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from ..analysis.watchdog import traced_lock
+
 #: Version stamp carried by :meth:`MetricsRegistry.snapshot` output, so
 #: downstream consumers (live view, trend records) can refuse layouts
 #: from the future.  Independent of the telemetry row schema.
@@ -71,7 +73,7 @@ class Counter:
 
     __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str, lock: threading.Lock) -> None:
+    def __init__(self, name: str, lock: Any) -> None:
         self.name = name
         self.value = 0
         self._lock = lock
@@ -86,7 +88,7 @@ class Gauge:
 
     __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str, lock: threading.Lock) -> None:
+    def __init__(self, name: str, lock: Any) -> None:
         self.name = name
         self.value = 0.0
         self._lock = lock
@@ -111,7 +113,7 @@ class Histogram:
 
     __slots__ = ("name", "buckets", "counts", "sum", "count", "_lock")
 
-    def __init__(self, name: str, lock: threading.Lock,
+    def __init__(self, name: str, lock: Any,
                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         ordered = tuple(sorted(buckets))
         if not ordered:
@@ -150,7 +152,10 @@ class MetricsRegistry:
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
-        self._lock = threading.Lock()
+        # Watchdog-instrumented: this lock nests *inside* the store
+        # writer lock (runner holds the lockfile while instrumentation
+        # fires) and must never be held *around* it.
+        self._lock = traced_lock("MetricsRegistry._lock")
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}

@@ -43,6 +43,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from ..analysis.watchdog import traced_lock
+
 #: Version stamp carried by every telemetry row (the ``schema`` field).
 #: Independent of the result-row ``SCHEMA_VERSION``: telemetry rows live
 #: in their own sidecar file with their own layout contract.  Bump on
@@ -151,10 +153,14 @@ class Telemetry:
         #: character count *is* the byte count.
         self.sink_bytes = 0
         self._sink_warned = False
-        self.epoch_wall = time.time()
+        # A real wall-clock timestamp: the meta row anchors monotonic
+        # offsets to civil time.  Durations all use perf_counter.
+        self.epoch_wall = time.time()  # repro: allow[D-wallclock]
         self.epoch_perf = time.perf_counter()
         self._pid = os.getpid()
-        self._lock = threading.Lock()
+        # Watchdog-instrumented: acquired inside the store writer lock
+        # on every store.put span; must never wrap a store lock take.
+        self._lock = traced_lock("Telemetry._lock")
         self._local = threading.local()
         self._handle: Optional[Any] = None
         if enabled:

@@ -95,6 +95,8 @@ def make_record(
     return {
         "schema": TREND_SCHEMA_VERSION,
         "label": label,
+        # A real wall-clock timestamp (when this run happened), never
+        # subtracted from anything.  # repro: allow[D-wallclock]
         "wall": round(time.time() if wall is None else wall, 3),
         "scenarios": int(scenarios),
         "wall_s": round(float(wall_s), 4),

@@ -80,6 +80,7 @@ import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+from ...analysis.watchdog import traced_lock
 from ...obs import metrics
 from ...obs.logsetup import kv
 from ...obs.spans import Telemetry, current
@@ -243,7 +244,9 @@ class _Reconnector:
         self._backend = backend
         self._events = events
         self._stop = threading.Event()
-        self._lock = threading.Lock()
+        # Watchdog-instrumented: guards only the backoff schedule and is
+        # never held across _open_link (a blocking connect).
+        self._lock = traced_lock("_Reconnector._lock")
         self._due: Dict[str, float] = {}
         self._delay: Dict[str, float] = {}
         self._thread = threading.Thread(
@@ -1115,7 +1118,10 @@ class SocketBackend(Backend):
             "batch": batch_id,
             "jobs": [{"key": key, "spec": spec.to_dict()}
                      for key, spec in jobs],
-            "sent_at": time.time(),
+            # Wall clock on purpose: the driver and worker do not share
+            # a monotonic epoch, so cross-host diagnostics need civil
+            # time.  Never used for elapsed math on either side.
+            "sent_at": time.time(),  # repro: allow[D-wallclock]
         }
         if want_telemetry:
             frame["telemetry"] = True

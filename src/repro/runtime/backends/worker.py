@@ -43,6 +43,7 @@ import threading
 import time
 from typing import Any, Dict, Optional, Tuple
 
+from ...analysis.watchdog import traced_lock
 from ...obs.logsetup import configure_logging, kv
 from ..scenario import ScenarioSpec
 from .base import execute_job, timed_execute_job
@@ -111,9 +112,12 @@ class WorkerServer:
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
-        self._lock = threading.Lock()
+        # Watchdog-instrumented (repro lint C-series): job/death
+        # accounting, shard writes, and per-connection sends are the
+        # worker's three lock domains; none may nest inside another.
+        self._lock = traced_lock("WorkerServer._lock")
         self._shard = None  # ResultStore, opened in start()
-        self._shard_lock = threading.Lock()
+        self._shard_lock = traced_lock("WorkerServer._shard_lock")
 
     # -- lifecycle -----------------------------------------------------
 
@@ -228,7 +232,7 @@ class WorkerServer:
         session_start = time.perf_counter()
         session_jobs = 0
         _log.info(kv("accept", peer=peer_name, session=self.sessions))
-        send_lock = threading.Lock()
+        send_lock = traced_lock("WorkerServer.send_lock")
         jobs: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue()
         executor = threading.Thread(
             target=self._execute_loop, args=(conn, send_lock, jobs),

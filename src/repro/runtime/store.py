@@ -31,6 +31,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+from ..analysis import watchdog as lockwatch
 from ..obs import metrics
 from ..obs.spans import span
 
@@ -41,6 +42,10 @@ class StoreLockError(RuntimeError):
 
 class ResultStore:
     """Durable ``scenario hash -> result row`` mapping backed by JSONL."""
+
+    #: Identity of the flock writer lock in the lock-order watchdog's
+    #: graph (see :mod:`repro.analysis.watchdog`).
+    WRITER_LOCK_NAME = "ResultStore.writer_lock"
 
     def __init__(self, path: Union[str, Path], load: bool = True) -> None:
         """``load=False`` skips the eager file parse -- for callers that
@@ -218,6 +223,7 @@ class ResultStore:
                 import fcntl
             except ImportError:  # non-POSIX fallback
                 self._acquire_lock_exclusive_create()
+                lockwatch.lock_acquired(self.WRITER_LOCK_NAME)
                 return
             fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR)
             try:
@@ -235,6 +241,11 @@ class ResultStore:
             os.write(fd, f"{os.getpid()}\n".encode("ascii"))
             self._lock_fd = fd
             self._lock_is_flock = True
+        # The writer lock is an flock, not a threading.Lock, so it
+        # reports to the lock-order watchdog through the manual hooks:
+        # it is held across the whole campaign, and every telemetry/
+        # metrics lock acquired meanwhile must nest inside it.
+        lockwatch.lock_acquired(self.WRITER_LOCK_NAME)
         metrics.inc("store.lock_acquisitions")
         metrics.observe("store.lock_wait_s",
                         time.perf_counter() - lock_start)
@@ -282,6 +293,7 @@ class ResultStore:
             return
         os.close(self._lock_fd)
         self._lock_fd = None
+        lockwatch.lock_released(self.WRITER_LOCK_NAME)
         if not getattr(self, "_lock_is_flock", True):
             try:
                 os.unlink(self.lock_path)
